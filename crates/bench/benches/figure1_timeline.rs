@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the timing substrate behind Figure 1: the
+//! overrun release policy, the fixed-priority scheduler and timeline
+//! rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overrun_rtsim::{
+    render_timeline, ExecutionModel, OverrunPolicy, ResponseTimeModel, Scheduler,
+    SchedulerConfig, SequenceGenerator, Span, Task, TimelineOptions,
+};
+
+fn bench_policy_application(c: &mut Criterion) {
+    let policy = OverrunPolicy::new(Span::from_millis(10), 5).expect("policy");
+    let mut gen = SequenceGenerator::new(
+        ResponseTimeModel::Uniform {
+            min: Span::from_millis(1),
+            max: Span::from_millis(16),
+        },
+        7,
+    )
+    .expect("generator");
+    let responses = gen.sequence(10_000);
+    c.bench_function("overrun_policy_10k_jobs", |b| {
+        b.iter(|| policy.apply(&responses).expect("trace"))
+    });
+}
+
+fn bench_scheduler_run(c: &mut Criterion) {
+    let tasks = vec![
+        Task::new(
+            "interference",
+            Span::from_millis(7),
+            0,
+            ExecutionModel::Uniform {
+                min: Span::from_millis(1),
+                max: Span::from_millis(3),
+            },
+        ),
+        Task::new(
+            "control",
+            Span::from_millis(10),
+            1,
+            ExecutionModel::Constant(Span::from_millis(4)),
+        ),
+    ];
+    let sched = Scheduler::new(tasks).expect("scheduler");
+    let ctl = sched.task_id("control").expect("task");
+    let sched = sched.with_adaptive_task(ctl, 5).expect("adaptive");
+    c.bench_function("scheduler_1s_horizon", |b| {
+        b.iter(|| {
+            sched
+                .run(&SchedulerConfig {
+                    horizon: Span::from_secs(1),
+                    seed: 3,
+                })
+                .expect("trace")
+        })
+    });
+}
+
+fn bench_timeline_render(c: &mut Criterion) {
+    let policy = OverrunPolicy::new(Span::from_millis(8), 8).expect("policy");
+    let mut gen = SequenceGenerator::new(
+        ResponseTimeModel::Sporadic {
+            min: Span::from_millis(2),
+            period: Span::from_millis(8),
+            max: Span::from_millis(12),
+            overrun_prob: 0.2,
+        },
+        11,
+    )
+    .expect("generator");
+    let trace = policy.apply(&gen.sequence(12)).expect("trace");
+    c.bench_function("render_timeline_12_jobs", |b| {
+        b.iter(|| render_timeline(&trace, &TimelineOptions::default()).expect("art"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_policy_application, bench_scheduler_run, bench_timeline_render
+}
+criterion_main!(benches);

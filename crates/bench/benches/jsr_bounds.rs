@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the JSR bound computations (the stability
+//! certificate of paper Sec. V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overrun_control::prelude::*;
+use overrun_control::scenarios::pmsm_table2_weights;
+use overrun_jsr::{
+    bruteforce_bounds, gripenberg, BruteforceOptions, GripenbergOptions, MatrixSet,
+};
+
+/// The Table-II lifted matrix set for one configuration.
+fn lifted_set(factor: f64, ns: u32) -> MatrixSet {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, factor * 50e-6, ns).expect("valid grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    let meas = lifted::measurement_matrix(&plant, &table).expect("measurement");
+    MatrixSet::new(lifted::build_omega_set(&plant, &table, &meas).expect("omegas"))
+        .expect("matrix set")
+}
+
+fn bench_bruteforce_depth(c: &mut Criterion) {
+    let set = lifted_set(1.3, 2);
+    let mut group = c.benchmark_group("eq12_bruteforce");
+    for depth in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                bruteforce_bounds(
+                    &set,
+                    &BruteforceOptions {
+                        max_depth: d,
+                        ..Default::default()
+                    },
+                )
+                .expect("bounds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gripenberg_variants(c: &mut Criterion) {
+    let set = lifted_set(1.3, 2);
+    let mut group = c.benchmark_group("gripenberg");
+    group.bench_function("plain_norm", |b| {
+        b.iter(|| {
+            gripenberg(
+                &set,
+                &GripenbergOptions {
+                    ellipsoid: false,
+                    max_depth: 10,
+                    ..Default::default()
+                },
+            )
+            .expect("bounds")
+        })
+    });
+    group.bench_function("ellipsoid_norm", |b| {
+        b.iter(|| {
+            gripenberg(
+                &set,
+                &GripenbergOptions {
+                    max_depth: 10,
+                    ..Default::default()
+                },
+            )
+            .expect("bounds")
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_certification(c: &mut Criterion) {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, 1.3 * 50e-6, 2).expect("grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    c.bench_function("certify_table2_cell", |b| {
+        b.iter(|| stability::certify(&plant, &table, &Default::default()).expect("certify"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // The certification kernels run for seconds per iteration; a small
+    // sample keeps `cargo bench` tractable without losing signal.
+    config = Criterion::default().sample_size(10);
+    targets = bench_bruteforce_depth, bench_gripenberg_variants, bench_full_certification
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the dense linear-algebra kernels that dominate
+//! the stability-analysis runtime: `expm`, eigenvalues, DARE and the
+//! spectral norm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overrun_linalg::{dlqr, eigenvalues, expm, norm_2, solve_dare, Matrix};
+
+fn test_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = ((i * 31 + j * 17 + 7) % 101) as f64 / 101.0 - 0.5;
+        if i == j {
+            v - 0.8
+        } else {
+            v * 0.4
+        }
+    })
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expm");
+    for n in [3usize, 6, 9, 16] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| expm(a).expect("expm"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigenvalues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigenvalues");
+    for n in [3usize, 6, 9, 16] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| eigenvalues(a).expect("eig"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_norm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("norm_2");
+    for n in [6usize, 9, 16] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| norm_2(a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dare");
+    for n in [3usize, 5, 8] {
+        // A mildly unstable system with full-rank input.
+        let a = test_matrix(n).scale(0.5) + Matrix::identity(n) * 1.05;
+        let bmat = Matrix::from_fn(n, 2, |i, j| ((i + 2 * j + 1) % 3) as f64 * 0.5);
+        let q = Matrix::identity(n);
+        let r = Matrix::identity(2);
+        group.bench_function(BenchmarkId::from_parameter(n), |bch| {
+            bch.iter(|| solve_dare(&a, &bmat, &q, &r).expect("dare"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dlqr_pipeline(c: &mut Criterion) {
+    // The full design kernel of one Table-II mode: discretise + DARE.
+    let plant = overrun_control::plants::pmsm();
+    c.bench_function("lqr_mode_design_pmsm", |b| {
+        b.iter(|| {
+            let d = plant.discretize(50e-6).expect("discretize");
+            let mut a_aug = Matrix::zeros(5, 5);
+            a_aug.set_block(0, 0, &d.phi).expect("block");
+            a_aug.set_block(0, 3, &d.gamma).expect("block");
+            let mut b_aug = Matrix::zeros(5, 2);
+            b_aug.set_block(3, 0, &Matrix::identity(2)).expect("block");
+            let mut q = Matrix::zeros(5, 5);
+            q.set_block(0, 0, &Matrix::identity(3)).expect("block");
+            q.set_block(3, 3, &(Matrix::identity(2) * 1e-9)).expect("block");
+            dlqr(&a_aug, &b_aug, &q, &(Matrix::identity(2) * 3e-3)).expect("dlqr")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_expm, bench_eigenvalues, bench_norm2, bench_dare, bench_dlqr_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the Table-I kernels: PI design and the
+//! worst-case simulation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overrun_control::metrics::{evaluate_worst_case, WorstCaseOptions};
+use overrun_control::prelude::*;
+use overrun_control::sim::{ClosedLoopSim, SimScenario};
+use overrun_linalg::Matrix;
+
+fn bench_pi_design(c: &mut Criterion) {
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).expect("grid");
+    c.bench_function("pi_design_adaptive", |b| {
+        b.iter(|| pi::design_adaptive(&plant, &hset).expect("design"))
+    });
+}
+
+fn bench_closed_loop_sim(c: &mut Criterion) {
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).expect("grid");
+    let table = pi::design_adaptive(&plant, &hset).expect("design");
+    let sim = ClosedLoopSim::new(&plant, &table).expect("sim");
+    let scenario = SimScenario::step(2, Matrix::col_vec(&[1.0]));
+    let modes: Vec<usize> = (0..50).map(|k| usize::from(k % 7 == 0)).collect();
+    c.bench_function("closed_loop_50_jobs", |b| {
+        b.iter(|| sim.run(&scenario, &modes).expect("trajectory"))
+    });
+}
+
+fn bench_worst_case_sweep(c: &mut Criterion) {
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).expect("grid");
+    let table = pi::design_adaptive(&plant, &hset).expect("design");
+    let sim = ClosedLoopSim::new(&plant, &table).expect("sim");
+    let scenario = SimScenario::step(2, Matrix::col_vec(&[1.0]));
+    // 100 sequences = 1/500 of a full Table-I cell.
+    c.bench_function("worst_case_100_sequences", |b| {
+        b.iter(|| {
+            evaluate_worst_case(
+                &sim,
+                &scenario,
+                &WorstCaseOptions {
+                    num_sequences: 100,
+                    jobs_per_sequence: 50,
+                    seed: 1,
+                    rmin_fraction: 0.05,
+                },
+            )
+            .expect("report")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pi_design, bench_closed_loop_sim, bench_worst_case_sweep
+}
+criterion_main!(benches);

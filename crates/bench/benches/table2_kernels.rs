@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the Table-II kernels: per-interval LQR design,
+//! lifted-matrix construction and the PMSM worst-case sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overrun_control::metrics::{evaluate_worst_case, WorstCaseOptions};
+use overrun_control::prelude::*;
+use overrun_control::scenarios::pmsm_table2_weights;
+use overrun_control::sim::{ClosedLoopSim, SimScenario};
+use overrun_linalg::Matrix;
+
+fn bench_lqr_design(c: &mut Criterion) {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, 1.3 * 50e-6, 5).expect("grid");
+    c.bench_function("lqr_design_adaptive_pmsm", |b| {
+        b.iter(|| lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design"))
+    });
+}
+
+fn bench_omega_construction(c: &mut Criterion) {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, 1.6 * 50e-6, 5).expect("grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    let meas = lifted::measurement_matrix(&plant, &table).expect("measurement");
+    c.bench_function("build_omega_set_pmsm", |b| {
+        b.iter(|| lifted::build_omega_set(&plant, &table, &meas).expect("omegas"))
+    });
+}
+
+fn bench_pmsm_worst_case(c: &mut Criterion) {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, 1.3 * 50e-6, 2).expect("grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    let sim = ClosedLoopSim::new(&plant, &table).expect("sim");
+    let scenario = SimScenario::regulation(Matrix::col_vec(&[1.0, 1.0, 1.0]), 3);
+    c.bench_function("pmsm_worst_case_100_sequences", |b| {
+        b.iter(|| {
+            evaluate_worst_case(
+                &sim,
+                &scenario,
+                &WorstCaseOptions {
+                    num_sequences: 100,
+                    jobs_per_sequence: 50,
+                    seed: 1,
+                    rmin_fraction: 0.05,
+                },
+            )
+            .expect("report")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lqr_design, bench_omega_construction, bench_pmsm_worst_case
+}
+criterion_main!(benches);

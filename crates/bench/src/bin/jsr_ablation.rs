@@ -1,0 +1,76 @@
+//! Ablation of the stability-analysis machinery (not a paper table, but
+//! quantifies the design choices called out in `DESIGN.md`): for the
+//! Table-II matrix sets, how tight are
+//!
+//! 1. the paper-Eq.-12 brute-force bounds at increasing depth,
+//! 2. plain Gripenberg (2-norm),
+//! 3. Gripenberg in the optimised ellipsoidal norm, and
+//! 4. the power-lifted refinement used by `stability::certify`?
+//!
+//! ```text
+//! cargo run -p overrun-bench --bin jsr_ablation --release
+//! ```
+
+use overrun_control::lqr;
+use overrun_control::prelude::*;
+use overrun_control::scenarios::pmsm_table2_weights;
+use overrun_jsr::{
+    bruteforce_bounds, gripenberg, refined_bounds, BruteforceOptions, GripenbergOptions,
+    MatrixSet, RefineOptions,
+};
+
+fn main() {
+    let plant = plants::pmsm();
+    let t = 50e-6;
+    println!("JSR method ablation on the Table-II lifted sets (PMSM, adaptive LQR)");
+    println!(
+        "{:<14} {:>3} | {:^23} | {:^23} | {:^23} | {:^23}",
+        "config", "#H", "Eq.12 depth 6", "Gripenberg (2-norm)", "Gripenberg (ellipsoid)", "power-lifted refine"
+    );
+    for (factor, ns) in [(1.1, 2u32), (1.3, 2), (1.6, 2), (1.1, 5), (1.3, 5), (1.6, 5)] {
+        let hset = match IntervalSet::from_timing(t, factor * t, ns) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("bad config: {e}");
+                continue;
+            }
+        };
+        let run = || -> Result<(), Box<dyn std::error::Error>> {
+            let table = lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights())?;
+            let meas = lifted::measurement_matrix(&plant, &table)?;
+            let omegas = lifted::build_omega_set(&plant, &table, &meas)?;
+            let set = MatrixSet::new(omegas)?;
+
+            let eq12 = bruteforce_bounds(
+                &set,
+                &BruteforceOptions {
+                    max_depth: 6,
+                    ..Default::default()
+                },
+            )?;
+            let plain = gripenberg(
+                &set,
+                &GripenbergOptions {
+                    ellipsoid: false,
+                    ..Default::default()
+                },
+            )?;
+            let ell = gripenberg(&set, &GripenbergOptions::default())?;
+            let refined = refined_bounds(
+                &set,
+                &RefineOptions {
+                    decision_threshold: None,
+                    ..Default::default()
+                },
+            )?;
+            println!(
+                "{factor:.1}T  Ts=T/{ns} {:>3} | {eq12} | {plain} | {ell} | {refined}",
+                set.len(),
+            );
+            Ok(())
+        };
+        if let Err(e) = run() {
+            eprintln!("{factor:.1}T Ts=T/{ns}: failed: {e}");
+        }
+    }
+}

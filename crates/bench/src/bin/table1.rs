@@ -1,0 +1,51 @@
+//! Regenerates **Table I** of the paper: worst-case performance `J_w` of
+//! a PI-controlled unstable system under adaptive periods, comparing the
+//! adaptive controller against fixed-gain baselines tuned for `T` and
+//! `Rmax`.
+//!
+//! ```text
+//! cargo run -p overrun-bench --bin table1 --release            # full (50 000 seqs)
+//! cargo run -p overrun-bench --bin table1 --release -- --quick # smoke
+//! ```
+
+use overrun_bench::RunArgs;
+use overrun_control::plants;
+use overrun_control::scenarios::{format_table1, table1};
+
+fn main() {
+    let args = match RunArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let plant = plants::unstable_second_order();
+    let t = 0.010; // 10 ms control period, as in the paper
+    println!(
+        "Table I — PI on an unstable plant, T = 10 ms, {} sequences x {} jobs (seed {})",
+        args.sequences, args.jobs, args.seed
+    );
+    let started = std::time::Instant::now();
+    let rows = match table1(&plant, t, &args.experiment_config()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", format_table1(&rows));
+    println!("elapsed: {:.1?}", started.elapsed());
+
+    let mut csv = String::from("rmax_factor,ns,jw_adaptive,jw_fixed_t,jw_fixed_rmax\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.rmax_factor, r.ns, r.jw_adaptive, r.jw_fixed_t, r.jw_fixed_rmax
+        ));
+    }
+    match args.write_artifact("table1.csv", &csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

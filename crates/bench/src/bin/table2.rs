@@ -1,0 +1,64 @@
+//! Regenerates **Table II** of the paper: stability (JSR bounds) and
+//! worst-case performance for an LQR-controlled PMSM with `T = 50 µs`,
+//! comparing the adaptive design against fixed-gain and fixed-period
+//! baselines.
+//!
+//! ```text
+//! cargo run -p overrun-bench --bin table2 --release            # full
+//! cargo run -p overrun-bench --bin table2 --release -- --quick # smoke
+//! ```
+
+use overrun_bench::RunArgs;
+use overrun_control::plants;
+use overrun_control::scenarios::{format_table2, pmsm_table2_weights, table2};
+use overrun_linalg::Matrix;
+
+fn main() {
+    let args = match RunArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let plant = plants::pmsm();
+    let t = 50e-6; // 50 µs control period, as in the paper
+    let x0 = Matrix::col_vec(&[1.0, 1.0, 1.0]);
+    println!(
+        "Table II — LQR on a PMSM, T = 50 us, {} sequences x {} jobs (seed {})",
+        args.sequences, args.jobs, args.seed
+    );
+    let started = std::time::Instant::now();
+    let rows = match table2(&plant, t, &pmsm_table2_weights(), &x0, &args.experiment_config()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", format_table2(&rows));
+    println!("elapsed: {:.1?}", started.elapsed());
+
+    let mut csv = String::from(
+        "rmax_factor,ns,jsr_lb,jsr_ub,cost_no_overruns,cost_adaptive,cost_fixed_t,cost_fixed_rmax,cost_fixed_period_rmax\n",
+    );
+    let opt = |v: &Option<f64>| v.map_or("unstable".to_string(), |c| c.to_string());
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.rmax_factor,
+            r.ns,
+            r.jsr_adaptive.lower,
+            r.jsr_adaptive.upper,
+            r.cost_no_overruns,
+            r.cost_adaptive,
+            opt(&r.cost_fixed_t),
+            opt(&r.cost_fixed_rmax),
+            r.cost_fixed_period_rmax
+        ));
+    }
+    match args.write_artifact("table2.csv", &csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! The sensor-granularity trade-off experiment (paper Sec. V-B): sweep the
+//! oversampling factor `Ns` at fixed `Rmax = 1.6 T` and report how the
+//! analysis size `#H`, the certified stability margin, the worst-case cost
+//! and the wasted idle slack move.
+//!
+//! ```text
+//! cargo run -p overrun-bench --bin ts_tradeoff --release
+//! ```
+
+use overrun_bench::RunArgs;
+use overrun_control::plants;
+use overrun_control::scenarios::{format_granularity, granularity_sweep};
+
+fn main() {
+    let args = match RunArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let plant = plants::unstable_second_order();
+    println!(
+        "Ts trade-off — PI, T = 10 ms, Rmax = 1.6 T, {} sequences x {} jobs",
+        args.sequences, args.jobs
+    );
+    let rows = match granularity_sweep(
+        &plant,
+        0.010,
+        1.6,
+        &[1, 2, 4, 5, 10],
+        &args.experiment_config(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", format_granularity(&rows));
+
+    let mut csv = String::from("ns,h_count,jsr_lb,jsr_ub,jw_adaptive,worst_idle_slack_s\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.ns, r.h_count, r.jsr.lower, r.jsr.upper, r.jw_adaptive, r.worst_idle_slack
+        ));
+    }
+    match args.write_artifact("ts_tradeoff.csv", &csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared plumbing for the `overrun` benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! DATE 2021 paper (see `DESIGN.md` for the experiment index); this library
+//! holds the small amount of shared argument-parsing and output logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Command-line options shared by the experiment binaries.
+///
+/// Supported flags:
+/// * `--sequences N` — random sequences per configuration (default: the
+///   paper's 50 000),
+/// * `--jobs N` — jobs per sequence (default 50),
+/// * `--seed N` — RNG seed (default 2021),
+/// * `--quick` — 500 sequences, for smoke runs,
+/// * `--out DIR` — directory for CSV output (default `bench_results`).
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Random sequences per configuration.
+    pub sequences: usize,
+    /// Jobs per sequence.
+    pub jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            sequences: 50_000,
+            jobs: 50,
+            seed: 2021,
+            out_dir: PathBuf::from("bench_results"),
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = RunArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--sequences" => {
+                    out.sequences = next_value(&mut it, "--sequences")?;
+                }
+                "--jobs" => {
+                    out.jobs = next_value(&mut it, "--jobs")?;
+                }
+                "--seed" => {
+                    out.seed = next_value(&mut it, "--seed")?;
+                }
+                "--quick" => {
+                    out.sequences = 500;
+                }
+                "--out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--out requires a directory".to_string())?;
+                    out.out_dir = PathBuf::from(v);
+                }
+                other => {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the experiment configuration for the scenario drivers.
+    pub fn experiment_config(&self) -> overrun_control::scenarios::ExperimentConfig {
+        overrun_control::scenarios::ExperimentConfig {
+            num_sequences: self.sequences,
+            jobs_per_sequence: self.jobs,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// Writes `contents` to `<out_dir>/<name>`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_artifact(&self, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, contents)?;
+        Ok(path)
+    }
+}
+
+fn next_value<I: Iterator<Item = String>, T: std::str::FromStr>(
+    it: &mut I,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} requires a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} requires a numeric value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let a = RunArgs::default();
+        assert_eq!(a.sequences, 50_000);
+        assert_eq!(a.jobs, 50);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = RunArgs::parse(
+            ["--sequences", "100", "--jobs", "10", "--seed", "7", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(a.sequences, 100);
+        assert_eq!(a.jobs, 10);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn parse_quick_and_errors() {
+        let a = RunArgs::parse(["--quick".to_string()]).unwrap();
+        assert_eq!(a.sequences, 500);
+        assert!(RunArgs::parse(["--bogus".to_string()]).is_err());
+        assert!(RunArgs::parse(["--sequences".to_string()]).is_err());
+        assert!(RunArgs::parse(["--sequences".to_string(), "abc".to_string()]).is_err());
+    }
+
+    #[test]
+    fn config_propagates() {
+        let a = RunArgs::parse(["--quick".to_string()]).unwrap();
+        let cfg = a.experiment_config();
+        assert_eq!(cfg.num_sequences, 500);
+        assert_eq!(cfg.jobs_per_sequence, 50);
+    }
+}

@@ -1,0 +1,254 @@
+//! Brute-force Gel'fand bounds (paper Eq. 12).
+
+use overrun_linalg::{norm_2, spectral_radius, Matrix};
+
+use crate::set::normalize_log;
+use crate::{precondition, Error, JsrBounds, MatrixSet, Result};
+
+/// Options for [`bruteforce_bounds`].
+#[derive(Debug, Clone)]
+pub struct BruteforceOptions {
+    /// Maximum product length `m` explored (all `q^ℓ` products for every
+    /// `ℓ ≤ m` are visited). Default: 8.
+    pub max_depth: usize,
+    /// Hard cap on the total number of products formed. Default: 2_000_000.
+    pub max_products: usize,
+    /// Apply joint diagonal preconditioning first. Default: `true`.
+    pub precondition: bool,
+}
+
+impl Default for BruteforceOptions {
+    fn default() -> Self {
+        BruteforceOptions {
+            max_depth: 8,
+            max_products: 2_000_000,
+            precondition: true,
+        }
+    }
+}
+
+/// Computes the two-sided Gel'fand–Berger–Wang bounds of paper Eq. (12):
+///
+/// ```text
+/// max_{ℓ≤m} max_σ ρ(Ω_σ)^{1/ℓ}  ≤  ρ(A)  ≤  min_{ℓ≤m} max_σ ‖Ω_σ‖^{1/ℓ}
+/// ```
+///
+/// by breadth-first enumeration of **all** products `Ω_σ` of length up to
+/// `opts.max_depth`. Exact (no pruning), hence exponential in the depth —
+/// use [`crate::gripenberg`] for tight bounds on larger alphabets.
+///
+/// Upper bounds are only taken from *fully enumerated* product lengths, so
+/// the result is certified even when the product budget truncates the
+/// deepest level.
+///
+/// # Errors
+///
+/// * [`Error::InvalidOptions`] on a zero depth.
+/// * [`Error::BudgetExhausted`] if `max_products` is hit before even the
+///   first level completes.
+/// * [`Error::Linalg`] on numerical failure.
+///
+/// # Example
+///
+/// ```
+/// use overrun_jsr::{bruteforce_bounds, BruteforceOptions, MatrixSet};
+/// use overrun_linalg::Matrix;
+///
+/// # fn main() -> Result<(), overrun_jsr::Error> {
+/// // Pair of commuting diagonal matrices: JSR = max spectral radius = 0.9.
+/// let set = MatrixSet::new(vec![Matrix::diag(&[0.9, 0.1]), Matrix::diag(&[0.2, 0.8])])?;
+/// let b = bruteforce_bounds(&set, &BruteforceOptions::default())?;
+/// assert!(b.lower <= 0.9 + 1e-9 && 0.9 <= b.upper + 1e-9);
+/// assert!(b.gap() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bruteforce_bounds(set: &MatrixSet, opts: &BruteforceOptions) -> Result<JsrBounds> {
+    if opts.max_depth == 0 {
+        return Err(Error::InvalidOptions("max_depth must be >= 1".into()));
+    }
+    let work_set;
+    let set = if opts.precondition {
+        work_set = precondition(set)?.0;
+        &work_set
+    } else {
+        set
+    };
+
+    let mut lower = 0.0_f64;
+    let mut upper = f64::INFINITY;
+    let mut products_formed = 0usize;
+
+    // Level 0: the empty product. Products are stored normalised with their
+    // scale in log space so deep levels cannot overflow.
+    let mut level: Vec<(Matrix, f64)> = vec![(Matrix::identity(set.dim()), 0.0)];
+
+    for depth in 1..=opts.max_depth {
+        let needed = level.len().saturating_mul(set.len());
+        if products_formed.saturating_add(needed) > opts.max_products {
+            // Cannot complete this level; stop with what we have.
+            if depth == 1 {
+                return Err(Error::BudgetExhausted {
+                    lower,
+                    upper: f64::INFINITY,
+                });
+            }
+            break;
+        }
+        let inv_depth = 1.0 / depth as f64;
+        let mut next = Vec::with_capacity(needed);
+        let mut level_max_rho = 0.0_f64;
+        let mut level_max_norm = 0.0_f64;
+        for (p, log_scale) in &level {
+            for a in set {
+                let q = a.matmul(p)?;
+                products_formed += 1;
+                let nrm_q = norm_2(&q);
+                let norm_pow = if nrm_q > 0.0 {
+                    ((nrm_q.ln() + log_scale) * inv_depth).exp()
+                } else {
+                    0.0
+                };
+                level_max_norm = level_max_norm.max(norm_pow);
+                // ρ(Q) ≤ ‖Q‖: the eigenvalue solve can only raise the lower
+                // bound when the norm-based value exceeds it.
+                if norm_pow > lower {
+                    let rho_q = spectral_radius(&q)?;
+                    if rho_q > 0.0 {
+                        level_max_rho =
+                            level_max_rho.max(((rho_q.ln() + log_scale) * inv_depth).exp());
+                    }
+                }
+                let (scaled, extra) = normalize_log(q, nrm_q);
+                next.push((scaled, log_scale + extra));
+            }
+        }
+        lower = lower.max(level_max_rho);
+        upper = upper.min(if level_max_norm > 0.0 {
+            level_max_norm
+        } else {
+            0.0
+        });
+        level = next;
+    }
+
+    Ok(JsrBounds { lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(depth: usize) -> BruteforceOptions {
+        BruteforceOptions {
+            max_depth: depth,
+            ..BruteforceOptions::default()
+        }
+    }
+
+    #[test]
+    fn singleton_equals_spectral_radius() {
+        let a = Matrix::from_rows(&[&[0.3, 0.8], &[-0.2, 0.5]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        let set = MatrixSet::new(vec![a]).unwrap();
+        let b = bruteforce_bounds(&set, &opts(10)).unwrap();
+        assert!(b.lower <= rho + 1e-9);
+        assert!(rho <= b.upper + 1e-9);
+        assert!(b.gap() < 0.1, "gap = {}", b.gap());
+    }
+
+    #[test]
+    fn zero_matrices_have_zero_jsr() {
+        let set = MatrixSet::new(vec![Matrix::zeros(2, 2), Matrix::zeros(2, 2)]).unwrap();
+        let b = bruteforce_bounds(&set, &opts(3)).unwrap();
+        assert_eq!(b.lower, 0.0);
+        assert!(b.upper < 1e-12);
+    }
+
+    #[test]
+    fn known_pair_with_golden_ratio_jsr() {
+        // For A1 = [1 1; 0 1], A2 = [1 0; 1 1] the JSR is the golden ratio
+        // φ = (1+√5)/2 = ρ(A1·A2)^{1/2}.
+        let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let b = bruteforce_bounds(&set, &opts(12)).unwrap();
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!(b.lower <= phi + 1e-9, "lower {} vs phi {phi}", b.lower);
+        assert!(phi <= b.upper + 1e-9, "upper {} vs phi {phi}", b.upper);
+        assert!((b.lower - phi).abs() < 1e-6, "lower should hit phi exactly");
+    }
+
+    #[test]
+    fn budget_truncation_keeps_completed_levels() {
+        let set = MatrixSet::new(vec![Matrix::identity(2), Matrix::identity(2) * 0.5]).unwrap();
+        // Budget allows level 1 and 2 only (2 + 4 = 6 < 10 < 6 + 8).
+        let b = bruteforce_bounds(
+            &set,
+            &BruteforceOptions {
+                max_depth: 20,
+                max_products: 10,
+                precondition: false,
+            },
+        )
+        .unwrap();
+        assert!((b.lower - 1.0).abs() < 1e-12);
+        assert!(b.upper >= 1.0 - 1e-12);
+        assert!(b.upper.is_finite());
+    }
+
+    #[test]
+    fn budget_too_small_for_first_level() {
+        let set = MatrixSet::new(vec![Matrix::identity(2), Matrix::identity(2)]).unwrap();
+        let res = bruteforce_bounds(
+            &set,
+            &BruteforceOptions {
+                max_depth: 3,
+                max_products: 1,
+                precondition: false,
+            },
+        );
+        assert!(matches!(res, Err(Error::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn depth_zero_rejected() {
+        let set = MatrixSet::new(vec![Matrix::identity(2)]).unwrap();
+        assert!(matches!(
+            bruteforce_bounds(&set, &opts(0)),
+            Err(Error::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn deeper_depth_never_loosens_bounds() {
+        let a1 = Matrix::from_rows(&[&[0.6, 0.4], &[-0.2, 0.7]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[0.5, -0.3], &[0.4, 0.6]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let b3 = bruteforce_bounds(&set, &opts(3)).unwrap();
+        let b6 = bruteforce_bounds(&set, &opts(6)).unwrap();
+        assert!(b6.lower >= b3.lower - 1e-12);
+        assert!(b6.upper <= b3.upper + 1e-12);
+        assert!(b6.lower <= b6.upper + 1e-12);
+    }
+
+    #[test]
+    fn preconditioning_only_affects_upper_bound_tightness() {
+        let a = Matrix::from_rows(&[&[0.5, 1e5], &[1e-6, 0.4]]).unwrap();
+        let set = MatrixSet::new(vec![a]).unwrap();
+        let with = bruteforce_bounds(&set, &opts(4)).unwrap();
+        let without = bruteforce_bounds(
+            &set,
+            &BruteforceOptions {
+                max_depth: 4,
+                precondition: false,
+                ..BruteforceOptions::default()
+            },
+        )
+        .unwrap();
+        // Lower bounds are spectral and scale-invariant.
+        assert!((with.lower - without.lower).abs() < 1e-6 * with.lower.max(1.0));
+        // Preconditioned upper bound must be at least as tight.
+        assert!(with.upper <= without.upper + 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Error type for JSR computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input matrix set is invalid (empty, non-square, or mixed sizes).
+    InvalidSet(String),
+    /// A configuration parameter is out of range.
+    InvalidOptions(String),
+    /// An underlying linear-algebra kernel failed.
+    Linalg(overrun_linalg::Error),
+    /// The iteration budget (`max_products` / `max_depth`) was exhausted
+    /// before the requested gap was reached. Contains the best bounds found.
+    BudgetExhausted {
+        /// Best certified lower bound found so far.
+        lower: f64,
+        /// Best certified upper bound found so far.
+        upper: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSet(msg) => write!(f, "invalid matrix set: {msg}"),
+            Error::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Error::BudgetExhausted { lower, upper } => write!(
+                f,
+                "budget exhausted before reaching the requested gap; best bounds [{lower}, {upper}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<overrun_linalg::Error> for Error {
+    fn from(e: overrun_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}

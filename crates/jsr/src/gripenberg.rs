@@ -1,0 +1,362 @@
+//! Gripenberg's branch-and-bound algorithm for the joint spectral radius.
+//!
+//! Reference: G. Gripenberg, *"Computing the joint spectral radius"*,
+//! Linear Algebra Appl. 234 (1996).
+
+use overrun_linalg::{norm_2, spectral_radius, Matrix};
+
+use crate::set::normalize_log;
+use crate::{precondition, Error, JsrBounds, MatrixSet, Result};
+
+/// Options for [`gripenberg`].
+#[derive(Debug, Clone)]
+pub struct GripenbergOptions {
+    /// Target gap `δ`: on clean termination `upper − lower ≤ δ`.
+    /// Default: `1e-4`.
+    pub delta: f64,
+    /// Maximum explored product length. Default: 30.
+    pub max_depth: usize,
+    /// Hard cap on the number of matrix products formed. Default: 500_000.
+    pub max_products: usize,
+    /// Apply joint diagonal preconditioning first. Default: `true`.
+    pub precondition: bool,
+    /// Optimise an ellipsoidal norm and run the search in its coordinates
+    /// (dramatically tighter upper bounds for non-normal sets; costs a few
+    /// thousand small-matrix norm evaluations up front). Default: `true`.
+    pub ellipsoid: bool,
+}
+
+impl Default for GripenbergOptions {
+    fn default() -> Self {
+        GripenbergOptions {
+            delta: 1e-4,
+            max_depth: 30,
+            max_products: 500_000,
+            precondition: true,
+            ellipsoid: true,
+        }
+    }
+}
+
+/// A node of the pruned product tree. Products are stored normalised
+/// (`‖·‖₂ ≈ 1`) with the accumulated scale carried in log space, so deep
+/// products of large- or small-norm matrices never overflow.
+struct Node {
+    /// Normalised product `A_{i_k} ⋯ A_{i_1} / exp(log_scale)`.
+    product: Matrix,
+    /// Log of the factored-out scale.
+    log_scale: f64,
+    /// Running minimum of `‖prefix‖^{1/len}` along the word — Gripenberg's
+    /// per-branch upper bound on what the branch can still contribute.
+    sigma: f64,
+}
+
+/// Computes certified JSR bounds with Gripenberg's branch-and-bound.
+///
+/// The algorithm maintains
+///
+/// * `lb = max` over all explored products `P` of `ρ(P)^{1/|P|}` (a valid
+///   lower bound by Gel'fand), and
+/// * a frontier of words whose branch bound
+///   `σ(w) = min_prefix ‖P_prefix‖^{1/len}` exceeds `lb + δ` — branches
+///   below that threshold can never push the JSR above `lb + δ` and are
+///   pruned.
+///
+/// On termination with an empty frontier the JSR lies in `[lb, lb + δ]`.
+/// If the depth or product budget runs out first, the returned upper bound
+/// is `max(lb + δ, max_frontier σ)` — still certified, just looser.
+///
+/// # Errors
+///
+/// * [`Error::InvalidOptions`] for non-positive `delta` or zero depth.
+/// * [`Error::Linalg`] on numerical failure.
+///
+/// # Example
+///
+/// ```
+/// use overrun_jsr::{gripenberg, GripenbergOptions, MatrixSet};
+/// use overrun_linalg::Matrix;
+///
+/// # fn main() -> Result<(), overrun_jsr::Error> {
+/// let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]])?;
+/// let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]])?;
+/// let set = MatrixSet::new(vec![a1, a2])?;
+/// let b = gripenberg(&set, &GripenbergOptions::default())?;
+/// let phi = (1.0 + 5.0_f64.sqrt()) / 2.0; // known JSR of this pair
+/// assert!(b.lower <= phi + 1e-9 && phi <= b.upper + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds> {
+    if !(opts.delta > 0.0 && opts.delta.is_finite()) {
+        return Err(Error::InvalidOptions(format!(
+            "delta must be positive and finite, got {}",
+            opts.delta
+        )));
+    }
+    if opts.max_depth == 0 {
+        return Err(Error::InvalidOptions("max_depth must be >= 1".into()));
+    }
+    let pre_set;
+    let mut set = if opts.precondition {
+        pre_set = precondition(set)?.0;
+        &pre_set
+    } else {
+        set
+    };
+    // One-step ellipsoid upper bound (valid on its own) + coordinate change.
+    let ell_set;
+    let mut ellipsoid_bound = f64::INFINITY;
+    if opts.ellipsoid {
+        let ell = crate::ellipsoid::optimize_ellipsoid(set, &Default::default())?;
+        ellipsoid_bound = ell.norm_bound;
+        ell_set = ell.transform(set)?;
+        set = &ell_set;
+    }
+
+    let mut lb = 0.0_f64;
+    let mut products = 0usize;
+
+    // Depth-1 frontier.
+    let mut frontier: Vec<Node> = Vec::with_capacity(set.len());
+    for a in set {
+        let rho = spectral_radius(a)?;
+        lb = lb.max(rho);
+        let nrm = norm_2(a);
+        let (product, log_scale) = normalize_log(a.clone(), nrm);
+        frontier.push(Node {
+            product,
+            log_scale,
+            sigma: nrm,
+        });
+        products += 1;
+    }
+    // Prune depth-1 nodes that can already not beat lb + delta.
+    frontier.retain(|n| n.sigma > lb + opts.delta);
+
+    let mut depth = 1usize;
+    let mut truncated = false;
+
+    while !frontier.is_empty() {
+        if depth >= opts.max_depth || products >= opts.max_products {
+            truncated = true;
+            break;
+        }
+        depth += 1;
+        let inv_depth = 1.0 / depth as f64;
+        let mut next = Vec::with_capacity(frontier.len() * set.len());
+        'expand: for (idx, node) in frontier.iter().enumerate() {
+            for a in set {
+                if products >= opts.max_products {
+                    truncated = true;
+                    // Soundness on truncation: the nodes not (fully)
+                    // expanded must keep contributing their branch bounds —
+                    // a parent's σ dominates all its children's, so carrying
+                    // the remaining parents forward is conservative.
+                    for rest in &frontier[idx..] {
+                        next.push(Node {
+                            product: rest.product.clone(),
+                            log_scale: rest.log_scale,
+                            sigma: rest.sigma,
+                        });
+                    }
+                    break 'expand;
+                }
+                let p = a.matmul(&node.product)?;
+                products += 1;
+                // True quantities in log space: the full product is
+                // exp(node.log_scale) · p.
+                let nrm_p = norm_2(&p);
+                let nrm = if nrm_p > 0.0 {
+                    ((nrm_p.ln() + node.log_scale) * inv_depth).exp()
+                } else {
+                    0.0
+                };
+                // ρ(P) ≤ ‖P‖: the eigenvalue solve can only improve the
+                // lower bound when the norm-based value exceeds it.
+                if nrm > lb {
+                    let rho_p = spectral_radius(&p)?;
+                    let rho = if rho_p > 0.0 {
+                        ((rho_p.ln() + node.log_scale) * inv_depth).exp()
+                    } else {
+                        0.0
+                    };
+                    if rho > lb {
+                        lb = rho;
+                    }
+                }
+                let sigma = node.sigma.min(nrm);
+                if sigma > lb + opts.delta {
+                    let (product, extra) = normalize_log(p, nrm_p);
+                    next.push(Node {
+                        product,
+                        log_scale: node.log_scale + extra,
+                        sigma,
+                    });
+                }
+            }
+        }
+        // The lower bound may have grown during expansion: re-prune. Nodes
+        // carried over by a truncation keep their (conservative) σ and are
+        // only dropped when even that cannot beat the bound.
+        next.retain(|n| n.sigma > lb + opts.delta);
+        frontier = next;
+    }
+
+    let search_upper = if truncated {
+        frontier
+            .iter()
+            .map(|n| n.sigma)
+            .fold(lb + opts.delta, f64::max)
+    } else {
+        lb + opts.delta
+    };
+    Ok(JsrBounds {
+        lower: lb,
+        upper: search_upper.min(ellipsoid_bound.max(lb)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_tight() {
+        let a = Matrix::from_rows(&[&[0.2, 0.9], &[-0.4, 0.1]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        let set = MatrixSet::new(vec![a]).unwrap();
+        let b = gripenberg(&set, &GripenbergOptions::default()).unwrap();
+        assert!(b.lower <= rho + 1e-9 && rho <= b.upper + 1e-9);
+        // For a singleton ‖Aᵏ‖^{1/k} converges to ρ only geometrically in
+        // 1/k, so the gap at the default depth budget is small but larger
+        // than δ.
+        assert!(b.gap() <= 1e-2, "gap = {}", b.gap());
+        assert!((b.lower - rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_ratio_pair() {
+        let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let b = gripenberg(
+            &set,
+            &GripenbergOptions {
+                delta: 1e-3,
+                ..GripenbergOptions::default()
+            },
+        )
+        .unwrap();
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((b.lower - phi).abs() < 1e-6, "lower {} vs {phi}", b.lower);
+        assert!(b.upper >= phi - 1e-9);
+        assert!(b.upper <= phi + 1e-3 + 1e-6);
+    }
+
+    #[test]
+    fn commuting_diagonals() {
+        let set = MatrixSet::new(vec![
+            Matrix::diag(&[0.9, 0.3]),
+            Matrix::diag(&[0.5, 0.8]),
+        ])
+        .unwrap();
+        let b = gripenberg(&set, &GripenbergOptions::default()).unwrap();
+        assert!((b.lower - 0.9).abs() < 1e-9);
+        assert!(b.upper <= 0.9 + 1e-4 + 1e-9);
+    }
+
+    #[test]
+    fn scaling_property() {
+        // JSR(c · A) = c · JSR(A)
+        let a1 = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[0.5, 0.1], &[0.0, 0.5]]).unwrap();
+        let set1 = MatrixSet::new(vec![a1.clone(), a2.clone()]).unwrap();
+        let set2 = MatrixSet::new(vec![a1.scale(2.0), a2.scale(2.0)]).unwrap();
+        let b1 = gripenberg(&set1, &GripenbergOptions::default()).unwrap();
+        let b2 = gripenberg(&set2, &GripenbergOptions::default()).unwrap();
+        assert!((b2.lower - 2.0 * b1.lower).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stable_set_certifies_stable() {
+        let a1 = Matrix::from_rows(&[&[0.5, 0.2], &[-0.1, 0.4]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[0.3, -0.3], &[0.2, 0.6]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let b = gripenberg(&set, &GripenbergOptions::default()).unwrap();
+        assert!(b.certifies_stable(), "bounds {b}");
+    }
+
+    #[test]
+    fn unstable_set_certifies_unstable() {
+        let set = MatrixSet::new(vec![
+            Matrix::diag(&[1.2, 0.1]),
+            Matrix::diag(&[0.1, 0.2]),
+        ])
+        .unwrap();
+        let b = gripenberg(&set, &GripenbergOptions::default()).unwrap();
+        assert!(b.certifies_unstable(), "bounds {b}");
+    }
+
+    #[test]
+    fn options_validation() {
+        let set = MatrixSet::new(vec![Matrix::identity(2)]).unwrap();
+        assert!(gripenberg(
+            &set,
+            &GripenbergOptions {
+                delta: 0.0,
+                ..GripenbergOptions::default()
+            }
+        )
+        .is_err());
+        assert!(gripenberg(
+            &set,
+            &GripenbergOptions {
+                max_depth: 0,
+                ..GripenbergOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn truncated_budget_still_valid() {
+        // With an extreme budget the bound is loose but must stay valid.
+        let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let b = gripenberg(
+            &set,
+            &GripenbergOptions {
+                delta: 1e-8,
+                max_depth: 3,
+                max_products: 50,
+                precondition: false,
+                ellipsoid: false,
+            },
+        )
+        .unwrap();
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!(b.lower <= phi + 1e-9);
+        assert!(b.upper >= phi - 1e-3);
+    }
+
+    #[test]
+    fn agrees_with_bruteforce() {
+        let a1 = Matrix::from_rows(&[&[0.7, 0.3], &[-0.2, 0.6]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[0.4, -0.5], &[0.5, 0.2]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2]).unwrap();
+        let g = gripenberg(&set, &GripenbergOptions::default()).unwrap();
+        let bf = crate::bruteforce_bounds(
+            &set,
+            &crate::BruteforceOptions {
+                max_depth: 10,
+                ..crate::BruteforceOptions::default()
+            },
+        )
+        .unwrap();
+        // Intervals must overlap (both contain the true JSR).
+        assert!(g.lower <= bf.upper + 1e-9, "g={g:?} bf={bf:?}");
+        assert!(bf.lower <= g.upper + 1e-9, "g={g:?} bf={bf:?}");
+    }
+}

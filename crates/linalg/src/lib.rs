@@ -1,0 +1,62 @@
+//! Dense linear algebra kernels for the `overrun` control stack.
+//!
+//! This crate implements, from scratch, every numerical kernel needed to
+//! reproduce *"Adaptive Design of Real-Time Control Systems subject to
+//! Sporadic Overruns"* (Pazzaglia et al., DATE 2021):
+//!
+//! * a dense row-major [`Matrix`] of `f64` with the usual arithmetic,
+//! * [`Lu`] factorisation with partial pivoting (solve / det / inverse),
+//! * Householder [`Qr`] factorisation and [`Cholesky`],
+//! * Hessenberg reduction and a Francis double-shift QR iteration giving
+//!   real-matrix [`eigenvalues`] and the [`spectral_radius`],
+//! * the matrix exponential [`expm`] (Padé-13 scaling and squaring) and the
+//!   zero-order-hold pair [`expm_integral`] `(e^{Ah}, ∫₀ʰ e^{As} ds · B)`,
+//! * a discrete Lyapunov solver and the discrete algebraic Riccati equation
+//!   ([`solve_dare`]) via the structure-preserving doubling algorithm, plus
+//!   the LQR gain [`dlqr`] and steady-state Kalman gain [`dkalman`].
+//!
+//! # Example
+//!
+//! ```
+//! use overrun_linalg::{Matrix, expm, spectral_radius};
+//!
+//! # fn main() -> Result<(), overrun_linalg::Error> {
+//! let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]])?;
+//! // exp of a rotation generator is a rotation matrix
+//! let r = expm(&a)?;
+//! assert!((r[(0, 0)] - 1.0_f64.cos()).abs() < 1e-12);
+//! assert!((spectral_radius(&r)? - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod expm;
+mod lu;
+mod lyapunov;
+mod matrix;
+mod norms;
+pub mod optimize;
+mod qr;
+mod riccati;
+mod schur;
+mod svd;
+
+pub use cholesky::{is_spd, Cholesky};
+pub use error::Error;
+pub use expm::{expm, expm_integral};
+pub use lu::Lu;
+pub use lyapunov::{is_schur_stable, solve_discrete_lyapunov, solve_discrete_lyapunov_direct};
+pub use matrix::Matrix;
+pub use norms::{balance, norm_1, norm_2, norm_fro, norm_inf};
+pub use qr::Qr;
+pub use riccati::{dkalman, dlqr, solve_dare, DareSolution};
+pub use schur::{eigenvalues, hessenberg, spectral_radius, Eigenvalue};
+pub use svd::{rank, Svd};
+
+/// Convenience alias for `Result<T, overrun_linalg::Error>`.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,243 @@
+//! Matrix norms and diagonal balancing.
+
+use crate::{Matrix, Result};
+
+/// Maximum absolute column sum (induced 1-norm).
+pub fn norm_1(m: &Matrix) -> f64 {
+    let mut best = 0.0_f64;
+    for j in 0..m.cols() {
+        let s: f64 = (0..m.rows()).map(|i| m[(i, j)].abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Maximum absolute row sum (induced ∞-norm).
+pub fn norm_inf(m: &Matrix) -> f64 {
+    let mut best = 0.0_f64;
+    for i in 0..m.rows() {
+        let s: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Frobenius norm `sqrt(Σ a_ij²)`.
+///
+/// Accumulated with a `max_abs` prescale so extreme-but-representable
+/// magnitudes (entries near `1e±200`) neither underflow to zero nor
+/// overflow to infinity — an under-estimated norm here would silently
+/// invalidate the JSR stability certificates built on top of it.
+pub fn norm_fro(m: &Matrix) -> f64 {
+    let scale = m.max_abs();
+    if scale == 0.0 || !scale.is_finite() {
+        return scale;
+    }
+    let sum: f64 = m
+        .as_slice()
+        .iter()
+        .map(|x| {
+            let v = x / scale;
+            v * v
+        })
+        .sum();
+    sum.sqrt() * scale
+}
+
+/// Spectral norm (largest singular value), computed as the square root of
+/// the largest eigenvalue of the symmetric product `AᵀA` via the QR
+/// eigenvalue iteration.
+///
+/// Power iteration was deliberately rejected here: on matrices whose
+/// singular values cluster (exactly what an optimised ellipsoidal norm
+/// produces in the JSR pipeline) it can *under*-estimate the norm, which
+/// would silently invalidate stability certificates built on top of it.
+pub fn norm_2(m: &Matrix) -> f64 {
+    let fro = norm_fro(m);
+    if fro == 0.0 {
+        return 0.0;
+    }
+    // Scale to avoid overflow in the squared spectrum.
+    let scaled = m.scale(1.0 / fro);
+    let ata = match scaled.transpose().matmul(&scaled) {
+        Ok(mut p) => {
+            p.symmetrize();
+            p
+        }
+        Err(_) => return fro, // unreachable: shapes always conform
+    };
+    match crate::schur::eigenvalues(&ata) {
+        Ok(eigs) => {
+            let lam_max = eigs.iter().map(|e| e.re).fold(0.0_f64, f64::max);
+            fro * lam_max.max(0.0).sqrt()
+        }
+        // Eigenvalue failure (pathological input): fall back to the
+        // Frobenius norm, which is a valid upper bound on the 2-norm.
+        Err(_) => fro,
+    }
+}
+
+/// Parlett–Reinsch diagonal balancing.
+///
+/// Returns `(B, d)` where `B = D⁻¹ A D` with `D = diag(d)` and the row and
+/// column norms of `B` are (nearly) equal. Balancing is a similarity
+/// transform, so it preserves eigenvalues while dramatically improving the
+/// accuracy of the QR eigenvalue iteration and the tightness of norm-based
+/// spectral bounds.
+///
+/// # Errors
+///
+/// Returns an error only if `m` is not square.
+pub fn balance(m: &Matrix) -> Result<(Matrix, Vec<f64>)> {
+    if !m.is_square() {
+        return Err(crate::Error::NotSquare {
+            op: "balance",
+            dims: m.shape(),
+        });
+    }
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut d = vec![1.0_f64; n];
+    let radix = 2.0_f64;
+    let mut done = false;
+    let mut sweeps = 0;
+    while !done && sweeps < 100 {
+        done = true;
+        sweeps += 1;
+        for i in 0..n {
+            let mut c = 0.0_f64;
+            let mut r = 0.0_f64;
+            for j in 0..n {
+                if j != i {
+                    c += a[(j, i)].abs();
+                    r += a[(i, j)].abs();
+                }
+            }
+            if c == 0.0 || r == 0.0 {
+                continue;
+            }
+            let mut f = 1.0_f64;
+            let mut c_work = c;
+            let s = c + r;
+            while c_work < r / radix {
+                f *= radix;
+                c_work *= radix * radix;
+            }
+            while c_work > r * radix {
+                f /= radix;
+                c_work /= radix * radix;
+            }
+            if (c_work + r / f.max(1.0)) < 0.95 * s || f != 1.0 {
+                // Apply the scaling only if it actually reduces the norms.
+                let c_new = c * f;
+                let r_new = r / f;
+                if c_new + r_new < 0.95 * s {
+                    done = false;
+                    d[i] *= f;
+                    for j in 0..n {
+                        let v = a[(i, j)] / f;
+                        a[(i, j)] = v;
+                    }
+                    for j in 0..n {
+                        let v = a[(j, i)] * f;
+                        a[(j, i)] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok((a, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn norms_of_identity() {
+        let i = Matrix::identity(3);
+        assert_eq!(norm_1(&i), 1.0);
+        assert_eq!(norm_inf(&i), 1.0);
+        assert!((norm_fro(&i) - 3.0_f64.sqrt()).abs() < 1e-15);
+        assert!((norm_2(&i) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_1_and_inf_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(norm_1(&a), 6.0); // col 1: |−2|+|4| = 6
+        assert_eq!(norm_inf(&a), 7.0); // row 1: |3|+|4| = 7
+    }
+
+    #[test]
+    fn norm_2_of_diag_is_max_abs() {
+        let d = Matrix::diag(&[3.0, -5.0, 1.0]);
+        assert!((norm_2(&d) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_2_rank_one() {
+        // ||u vᵀ||₂ = ||u|| ||v||
+        let u = Matrix::col_vec(&[1.0, 2.0]);
+        let v = Matrix::row_vec(&[3.0, 4.0]);
+        let m = &u * &v;
+        let expected = (5.0_f64).sqrt() * 5.0;
+        assert!((norm_2(&m) - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn norm_2_zero() {
+        assert_eq!(norm_2(&Matrix::zeros(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn norm_ordering() {
+        // ||A||₂ <= sqrt(||A||₁ ||A||_inf) always
+        let a = Matrix::from_rows(&[&[1.0, 200.0], &[0.001, 3.0]]).unwrap();
+        let n2 = norm_2(&a);
+        assert!(n2 <= (norm_1(&a) * norm_inf(&a)).sqrt() + 1e-9);
+        assert!(n2 >= a.max_abs() - 1e-9);
+    }
+
+    #[test]
+    fn balance_preserves_similarity() {
+        let a = Matrix::from_rows(&[&[1.0, 1e6], &[1e-6, 2.0]]).unwrap();
+        let (b, d) = balance(&a).unwrap();
+        // reconstruct D B D^{-1} and compare with A
+        let dm = Matrix::diag(&d);
+        let dinv = Matrix::diag(&d.iter().map(|x| 1.0 / x).collect::<Vec<_>>());
+        let back = &dm * &b * &dinv;
+        assert!(back.approx_eq(&a, 1e-9, 1e-9));
+        // balanced matrix should have much smaller norm spread
+        assert!(norm_inf(&b) < norm_inf(&a));
+    }
+
+    #[test]
+    fn balance_rejects_rectangular() {
+        assert!(balance(&Matrix::zeros(2, 3)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod extreme_scale_tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn fro_and_2_norm_survive_tiny_magnitudes() {
+        let m = Matrix::diag(&[1e-180, 3e-181]);
+        assert!((norm_fro(&m) - (1e-180_f64.powi(2) + 3e-181_f64.powi(2)).sqrt() * 1.0).abs()
+            < 1e-12 * 1e-180 || norm_fro(&m) > 0.0);
+        assert!((norm_2(&m) - 1e-180).abs() < 1e-10 * 1e-180, "{}", norm_2(&m));
+    }
+
+    #[test]
+    fn fro_and_2_norm_survive_huge_magnitudes() {
+        let m = Matrix::diag(&[1e200, 3e199]);
+        assert!(norm_fro(&m).is_finite());
+        let n2 = norm_2(&m);
+        assert!(n2.is_finite());
+        assert!((n2 - 1e200).abs() < 1e-9 * 1e200, "{n2}");
+    }
+}

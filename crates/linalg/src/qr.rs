@@ -1,0 +1,247 @@
+//! Householder QR factorisation.
+
+use crate::{Error, Matrix, Result};
+
+/// QR factorisation `A = Q R` via Householder reflections.
+///
+/// Works for any `m × n` matrix with `m >= n`; `Q` is `m × m` orthogonal and
+/// `R` is `m × n` upper trapezoidal. Used for least-squares solves and as a
+/// building block of orthogonal-iteration style algorithms.
+///
+/// # Example
+///
+/// ```
+/// use overrun_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), overrun_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+/// let qr = Qr::new(&a)?;
+/// let back = qr.q() * qr.r();
+/// assert!(back.approx_eq(&a, 1e-12, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factors an `m × n` matrix with `m >= n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] if `m < n`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::InvalidData(format!(
+                "qr requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut r = a.clone();
+        let mut q = Matrix::identity(m);
+        let mut v = vec![0.0_f64; m];
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Build the Householder vector for column k.
+            let mut norm_x = 0.0_f64;
+            for i in k..m {
+                norm_x = norm_x.hypot(r[(i, k)]);
+            }
+            if norm_x == 0.0 {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+            let mut v_norm_sq = 0.0_f64;
+            for i in k..m {
+                v[i] = r[(i, k)];
+                if i == k {
+                    v[i] -= alpha;
+                }
+                v_norm_sq += v[i] * v[i];
+            }
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            let beta = 2.0 / v_norm_sq;
+            // R := (I - beta v vᵀ) R
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let s = beta * dot;
+                for i in k..m {
+                    let val = r[(i, j)] - s * v[i];
+                    r[(i, j)] = val;
+                }
+            }
+            // Q := Q (I - beta v vᵀ)
+            for i in 0..m {
+                let mut dot = 0.0;
+                for l in k..m {
+                    dot += q[(i, l)] * v[l];
+                }
+                let s = beta * dot;
+                for l in k..m {
+                    let val = q[(i, l)] - s * v[l];
+                    q[(i, l)] = val;
+                }
+            }
+        }
+        // Clean tiny subdiagonal residue for exact triangularity.
+        for j in 0..n {
+            for i in (j + 1)..m {
+                r[(i, j)] = 0.0;
+            }
+        }
+        Ok(Qr { q, r })
+    }
+
+    /// The orthogonal factor `Q` (`m × m`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-trapezoidal factor `R` (`m × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong-sized `b` and
+    /// [`Error::Singular`] if `R` is rank deficient.
+    pub fn solve_least_squares(&self, b: &Matrix) -> Result<Matrix> {
+        let (m, _) = self.q.shape();
+        let n = self.r.cols();
+        if b.rows() != m {
+            return Err(Error::DimensionMismatch {
+                op: "qr_solve",
+                lhs: self.q.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let qtb = self.q.transpose().matmul(b)?;
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            for i in (0..n).rev() {
+                let mut s = qtb[(i, j)];
+                for k in (i + 1)..n {
+                    s -= self.r[(i, k)] * x[(k, j)];
+                }
+                let d = self.r[(i, i)];
+                // Purely relative threshold (a small-magnitude but
+                // well-conditioned R must not be rejected); MIN_POSITIVE
+                // keeps the all-zero matrix classified as singular.
+                let scale = self.r.max_abs().max(f64::MIN_POSITIVE);
+                let tiny = f64::EPSILON * scale * (m.max(n) as f64);
+                if d.abs() < tiny {
+                    return Err(Error::Singular);
+                }
+                x[(i, j)] = s / d;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
+            .unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!((qr.q() * qr.r()).approx_eq(&a, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_fn(4, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let qr = Qr::new(&a).unwrap();
+        let qtq = qr.q().transpose() * qr.q();
+        assert!(qtq.approx_eq(&Matrix::identity(4), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 + 1.0);
+        let qr = Qr::new(&a).unwrap();
+        for i in 0..5 {
+            for j in 0..3.min(i) {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2x + 1 exactly through three collinear points.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]).unwrap();
+        let b = Matrix::col_vec(&[1.0, 3.0, 5.0]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_minimised() {
+        // Points not on a line; the normal equations give the unique solution.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]).unwrap();
+        let b = Matrix::col_vec(&[0.0, 1.0, 3.0]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Solve normal equations AᵀA x = Aᵀ b independently.
+        let ata = a.transpose() * &a;
+        let atb = a.transpose() * &b;
+        let x_ref = ata.solve(&atb).unwrap();
+        assert!(x.approx_eq(&x_ref, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn rejects_wide() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn singular_r_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let b = Matrix::col_vec(&[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            qr.solve_least_squares(&b),
+            Err(Error::Singular)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod small_magnitude_tests {
+    use super::*;
+
+    #[test]
+    fn well_conditioned_tiny_matrix_solvable() {
+        // Condition number 1, entries 1e-20: must NOT be declared singular.
+        let a = Matrix::from_rows(&[&[1e-20, 0.0], &[0.0, 1e-20], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::col_vec(&[1e-20, 2e-20, 0.0]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_still_singular() {
+        let a = Matrix::zeros(3, 2);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&Matrix::zeros(3, 1)),
+            Err(Error::Singular)
+        ));
+    }
+}
