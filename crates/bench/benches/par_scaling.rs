@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the parallel execution layer (`overrun-par`):
+//! Monte Carlo `J_w` evaluation and the Gripenberg JSR certificate at
+//! 1, 2 and 4 worker threads.
+//!
+//! Results are bit-identical across thread counts by construction (see the
+//! `par_determinism` integration test); this bench measures only the
+//! wall-clock scaling. On a single-core container all thread counts
+//! collapse to roughly the serial time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overrun_control::metrics::{evaluate_worst_case, WorstCaseOptions};
+use overrun_control::prelude::*;
+use overrun_control::scenarios::pmsm_table2_weights;
+use overrun_control::sim::{ClosedLoopSim, SimScenario};
+use overrun_jsr::{gripenberg, GripenbergOptions, MatrixSet};
+use overrun_linalg::Matrix;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).expect("grid");
+    let table = pi::design_adaptive(&plant, &hset).expect("design");
+    let sim = ClosedLoopSim::new(&plant, &table).expect("sim");
+    let scenario = SimScenario::step(2, Matrix::col_vec(&[1.0]));
+    let opts = WorstCaseOptions {
+        num_sequences: 500,
+        jobs_per_sequence: 50,
+        seed: 2021,
+        rmin_fraction: 0.05,
+    };
+    let mut group = c.benchmark_group("monte_carlo_jw");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                overrun_par::set_thread_override(Some(t));
+                b.iter(|| evaluate_worst_case(&sim, &scenario, &opts).expect("report"));
+            },
+        );
+    }
+    overrun_par::set_thread_override(None);
+    group.finish();
+}
+
+fn bench_gripenberg_scaling(c: &mut Criterion) {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, 1.3 * 50e-6, 2).expect("grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    let meas = lifted::measurement_matrix(&plant, &table).expect("measurement");
+    let set = MatrixSet::new(lifted::build_omega_set(&plant, &table, &meas).expect("omegas"))
+        .expect("matrix set");
+    let opts = GripenbergOptions {
+        max_depth: 10,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("gripenberg_jsr");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                overrun_par::set_thread_override(Some(t));
+                b.iter(|| gripenberg(&set, &opts).expect("bounds"));
+            },
+        );
+    }
+    overrun_par::set_thread_override(None);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_monte_carlo, bench_gripenberg_scaling
+}
+criterion_main!(benches);

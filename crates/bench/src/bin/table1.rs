@@ -8,7 +8,7 @@
 //! cargo run -p overrun-bench --bin table1 --release -- --quick # smoke
 //! ```
 
-use overrun_bench::RunArgs;
+use overrun_bench::{run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_table1, table1};
 
@@ -20,11 +20,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = args.apply_threads();
     let plant = plants::unstable_second_order();
     let t = 0.010; // 10 ms control period, as in the paper
     println!(
-        "Table I — PI on an unstable plant, T = 10 ms, {} sequences x {} jobs (seed {})",
-        args.sequences, args.jobs, args.seed
+        "Table I — PI on an unstable plant, T = 10 ms, {} sequences x {} jobs (seed {}, {} threads)",
+        args.sequences, args.jobs, args.seed, threads
     );
     let started = std::time::Instant::now();
     let rows = match table1(&plant, t, &args.experiment_config()) {
@@ -34,10 +35,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let elapsed = started.elapsed();
     println!("{}", format_table1(&rows));
-    println!("elapsed: {:.1?}", started.elapsed());
+    println!("elapsed: {elapsed:.1?}");
 
-    let mut csv = String::from("rmax_factor,ns,jw_adaptive,jw_fixed_t,jw_fixed_rmax\n");
+    let mut csv = run_header(threads, elapsed);
+    csv.push_str("rmax_factor,ns,jw_adaptive,jw_fixed_t,jw_fixed_rmax\n");
     for r in &rows {
         csv.push_str(&format!(
             "{},{},{},{},{}\n",

@@ -8,7 +8,7 @@
 //! cargo run -p overrun-bench --bin table2 --release -- --quick # smoke
 //! ```
 
-use overrun_bench::RunArgs;
+use overrun_bench::{run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_table2, pmsm_table2_weights, table2};
 use overrun_linalg::Matrix;
@@ -21,12 +21,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = args.apply_threads();
     let plant = plants::pmsm();
     let t = 50e-6; // 50 µs control period, as in the paper
     let x0 = Matrix::col_vec(&[1.0, 1.0, 1.0]);
     println!(
-        "Table II — LQR on a PMSM, T = 50 us, {} sequences x {} jobs (seed {})",
-        args.sequences, args.jobs, args.seed
+        "Table II — LQR on a PMSM, T = 50 us, {} sequences x {} jobs (seed {}, {} threads)",
+        args.sequences, args.jobs, args.seed, threads
     );
     let started = std::time::Instant::now();
     let rows = match table2(&plant, t, &pmsm_table2_weights(), &x0, &args.experiment_config()) {
@@ -36,10 +37,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let elapsed = started.elapsed();
     println!("{}", format_table2(&rows));
-    println!("elapsed: {:.1?}", started.elapsed());
+    println!("elapsed: {elapsed:.1?}");
 
-    let mut csv = String::from(
+    let mut csv = run_header(threads, elapsed);
+    csv.push_str(
         "rmax_factor,ns,jsr_lb,jsr_ub,cost_no_overruns,cost_adaptive,cost_fixed_t,cost_fixed_rmax,cost_fixed_period_rmax\n",
     );
     let opt = |v: &Option<f64>| v.map_or("unstable".to_string(), |c| c.to_string());

@@ -7,7 +7,7 @@
 //! cargo run -p overrun-bench --bin ts_tradeoff --release
 //! ```
 
-use overrun_bench::RunArgs;
+use overrun_bench::{run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_granularity, granularity_sweep};
 
@@ -19,11 +19,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = args.apply_threads();
     let plant = plants::unstable_second_order();
     println!(
-        "Ts trade-off — PI, T = 10 ms, Rmax = 1.6 T, {} sequences x {} jobs",
-        args.sequences, args.jobs
+        "Ts trade-off — PI, T = 10 ms, Rmax = 1.6 T, {} sequences x {} jobs ({} threads)",
+        args.sequences, args.jobs, threads
     );
+    let started = std::time::Instant::now();
     let rows = match granularity_sweep(
         &plant,
         0.010,
@@ -37,9 +39,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let elapsed = started.elapsed();
     println!("{}", format_granularity(&rows));
+    println!("elapsed: {elapsed:.1?}");
 
-    let mut csv = String::from("ns,h_count,jsr_lb,jsr_ub,jw_adaptive,worst_idle_slack_s\n");
+    let mut csv = run_header(threads, elapsed);
+    csv.push_str("ns,h_count,jsr_lb,jsr_ub,jw_adaptive,worst_idle_slack_s\n");
     for r in &rows {
         csv.push_str(&format!(
             "{},{},{},{},{},{}\n",

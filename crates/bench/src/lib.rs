@@ -17,6 +17,8 @@ use std::path::PathBuf;
 /// * `--jobs N` — jobs per sequence (default 50),
 /// * `--seed N` — RNG seed (default 2021),
 /// * `--quick` — 500 sequences, for smoke runs,
+/// * `--threads N` — worker threads (default: `OVERRUN_THREADS` env or all
+///   cores; results are bit-identical for any value),
 /// * `--out DIR` — directory for CSV output (default `bench_results`).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
@@ -26,6 +28,8 @@ pub struct RunArgs {
     pub jobs: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker-thread override (`None` = env / all cores).
+    pub threads: Option<usize>,
     /// Output directory for CSV artifacts.
     pub out_dir: PathBuf,
 }
@@ -36,6 +40,7 @@ impl Default for RunArgs {
             sequences: 50_000,
             jobs: 50,
             seed: 2021,
+            threads: None,
             out_dir: PathBuf::from("bench_results"),
         }
     }
@@ -64,6 +69,9 @@ impl RunArgs {
                 "--quick" => {
                     out.sequences = 500;
                 }
+                "--threads" => {
+                    out.threads = Some(next_value(&mut it, "--threads")?);
+                }
                 "--out" => {
                     let v = it
                         .next()
@@ -88,6 +96,13 @@ impl RunArgs {
         }
     }
 
+    /// Installs the `--threads` override into the global worker pool and
+    /// returns the effective worker count the run will use.
+    pub fn apply_threads(&self) -> usize {
+        overrun_par::set_thread_override(self.threads);
+        overrun_par::max_threads()
+    }
+
     /// Writes `contents` to `<out_dir>/<name>`, creating the directory.
     ///
     /// # Errors
@@ -99,6 +114,16 @@ impl RunArgs {
         std::fs::write(&path, contents)?;
         Ok(path)
     }
+}
+
+/// Formats the `#`-comment provenance header prepended to every CSV
+/// artifact: worker-thread count and wall-clock seconds of the run.
+#[must_use]
+pub fn run_header(threads: usize, elapsed: std::time::Duration) -> String {
+    format!(
+        "# threads={threads} elapsed_s={:.3}\n",
+        elapsed.as_secs_f64()
+    )
 }
 
 fn next_value<I: Iterator<Item = String>, T: std::str::FromStr>(
@@ -143,6 +168,20 @@ mod tests {
         assert!(RunArgs::parse(["--bogus".to_string()]).is_err());
         assert!(RunArgs::parse(["--sequences".to_string()]).is_err());
         assert!(RunArgs::parse(["--sequences".to_string(), "abc".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_threads() {
+        let a = RunArgs::parse(["--threads".to_string(), "4".to_string()]).unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(RunArgs::default().threads, None);
+        assert!(RunArgs::parse(["--threads".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn header_format() {
+        let h = run_header(4, std::time::Duration::from_millis(1500));
+        assert_eq!(h, "# threads=4 elapsed_s=1.500\n");
     }
 
     #[test]

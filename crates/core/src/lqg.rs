@@ -154,11 +154,11 @@ pub fn design_adaptive(
     weights: &LqrWeights,
     noise: &NoiseModel,
 ) -> Result<ControllerTable> {
-    let modes = hset
-        .intervals()
-        .iter()
-        .map(|&h| mode_for_interval(plant, h, weights, noise))
-        .collect::<Result<Vec<_>>>()?;
+    // One Riccati + Kalman solve per interval, all independent — fan the
+    // table out across threads (serial when only one is available).
+    let modes = overrun_par::try_parallel_map(hset.intervals(), |_, &h| {
+        mode_for_interval(plant, h, weights, noise)
+    })?;
     ControllerTable::new(modes, hset.clone())
 }
 

@@ -139,11 +139,11 @@ pub fn design_adaptive(
     hset: &IntervalSet,
     weights: &LqrWeights,
 ) -> Result<ControllerTable> {
-    let modes = hset
-        .intervals()
-        .iter()
-        .map(|&h| mode_for_interval(plant, h, weights))
-        .collect::<Result<Vec<_>>>()?;
+    // Each interval's Riccati solve is independent, so the table is built
+    // with one task per h (serial when only one thread is available).
+    let modes = overrun_par::try_parallel_map(hset.intervals(), |_, &h| {
+        mode_for_interval(plant, h, weights)
+    })?;
     ControllerTable::new(modes, hset.clone())
 }
 

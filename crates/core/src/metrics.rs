@@ -2,6 +2,7 @@
 //! `J_w = max_σ Σ_k ‖e[k]‖²` over ensembles of random job sequences
 //! (Sec. VI), plus exhaustive small-horizon search.
 
+use overrun_par::{derive_seed, try_parallel_map};
 use overrun_rtsim::{ResponseTimeModel, SequenceGenerator, Span};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -121,42 +122,85 @@ pub fn evaluate_worst_case(
         )));
     }
     let hset = sim.table().hset().clone();
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
-    run_ensemble(sim, scenario, opts, |_| {
+    // Each sequence draws from its own generator, seeded from the master
+    // seed and the sequence index — streams are independent of how the
+    // ensemble is scheduled across threads.
+    run_ensemble(sim, scenario, opts, |i| {
+        let mut rng = SmallRng::seed_from_u64(derive_seed(opts.seed, i as u64));
         random_mode_sequence(&hset, opts.jobs_per_sequence, &mut rng, opts.rmin_fraction)
     })
 }
 
+/// Sequences folded per chunk before chunks are combined in order — the
+/// boundaries (and therefore every f64 operation order) depend only on
+/// this constant, never on the thread count.
+const ENSEMBLE_CHUNK: usize = 64;
+
+/// Running accumulator of one ensemble chunk.
+#[derive(Clone, Copy)]
+struct EnsembleAcc {
+    worst: f64,
+    worst_integral: f64,
+    sum: f64,
+    diverged: usize,
+}
+
 /// Shared ensemble loop behind both worst-case evaluators: draws one mode
-/// sequence per index from `next_modes`, simulates it, and accumulates the
-/// report.
-fn run_ensemble<F: FnMut(usize) -> Result<Vec<usize>>>(
+/// sequence per index from `next_modes`, simulates it (cost-only fast
+/// path), and accumulates the report. Chunks of [`ENSEMBLE_CHUNK`]
+/// sequences are evaluated in parallel and combined in chunk order, so the
+/// report is bit-identical for any thread count.
+fn run_ensemble<F>(
     sim: &ClosedLoopSim,
     scenario: &SimScenario,
     opts: &WorstCaseOptions,
-    mut next_modes: F,
-) -> Result<WorstCaseReport> {
+    next_modes: F,
+) -> Result<WorstCaseReport>
+where
+    F: Fn(usize) -> Result<Vec<usize>> + Sync,
+{
     if opts.num_sequences == 0 || opts.jobs_per_sequence == 0 {
         return Err(Error::InvalidConfig(
             "worst-case evaluation needs at least one sequence and one job".into(),
         ));
     }
+    let n_chunks = opts.num_sequences.div_ceil(ENSEMBLE_CHUNK);
+    let chunks: Vec<usize> = (0..n_chunks).collect();
+    let partials: Vec<EnsembleAcc> = try_parallel_map(&chunks, |_, &c| {
+        let lo = c * ENSEMBLE_CHUNK;
+        let hi = (lo + ENSEMBLE_CHUNK).min(opts.num_sequences);
+        let mut acc = EnsembleAcc {
+            worst: 0.0,
+            worst_integral: 0.0,
+            sum: 0.0,
+            diverged: 0,
+        };
+        for i in lo..hi {
+            let modes = next_modes(i)?;
+            let summary = sim.run_cost(scenario, &modes)?;
+            if summary.diverged {
+                acc.diverged += 1;
+                acc.worst = f64::INFINITY;
+                acc.worst_integral = f64::INFINITY;
+            } else {
+                acc.worst = acc.worst.max(summary.cost);
+                acc.worst_integral = acc.worst_integral.max(summary.cost_integral);
+                acc.sum += summary.cost;
+            }
+        }
+        Ok::<_, Error>(acc)
+    })?;
+
+    // Serial fold in chunk order — the only place partials meet.
     let mut worst = 0.0_f64;
     let mut worst_integral = 0.0_f64;
     let mut sum = 0.0_f64;
     let mut diverged = 0usize;
-    for i in 0..opts.num_sequences {
-        let modes = next_modes(i)?;
-        let traj = sim.run(scenario, &modes)?;
-        if traj.diverged {
-            diverged += 1;
-            worst = f64::INFINITY;
-            worst_integral = f64::INFINITY;
-        } else {
-            worst = worst.max(traj.cost);
-            worst_integral = worst_integral.max(traj.cost_integral);
-            sum += traj.cost;
-        }
+    for acc in partials {
+        worst = worst.max(acc.worst);
+        worst_integral = worst_integral.max(acc.worst_integral);
+        sum += acc.sum;
+        diverged += acc.diverged;
     }
     let completed = opts.num_sequences - diverged;
     Ok(WorstCaseReport {
@@ -389,6 +433,30 @@ mod tests {
     fn exhaustive_cap_enforced() {
         let s = sim();
         assert!(exhaustive_worst_case(&s, &scenario(), 40, 1000).is_err());
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let s = sim();
+        let sc = scenario();
+        let opts = WorstCaseOptions {
+            num_sequences: 130, // spans three chunks, last one partial
+            jobs_per_sequence: 40,
+            seed: 19,
+            rmin_fraction: 0.05,
+        };
+        overrun_par::set_thread_override(Some(1));
+        let serial = evaluate_worst_case(&s, &sc, &opts).unwrap();
+        overrun_par::set_thread_override(Some(4));
+        let parallel = evaluate_worst_case(&s, &sc, &opts).unwrap();
+        overrun_par::set_thread_override(None);
+        assert_eq!(serial.worst_cost.to_bits(), parallel.worst_cost.to_bits());
+        assert_eq!(serial.mean_cost.to_bits(), parallel.mean_cost.to_bits());
+        assert_eq!(
+            serial.worst_integral_cost.to_bits(),
+            parallel.worst_integral_cost.to_bits()
+        );
+        assert_eq!(serial.diverged, parallel.diverged);
     }
 }
 

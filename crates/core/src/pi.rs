@@ -282,11 +282,14 @@ pub fn design_adaptive(plant: &ContinuousSs, hset: &IntervalSet) -> Result<Contr
         ki = ki_h;
         gains.push((kp, ki));
     }
-    let modes = intervals
-        .iter()
-        .zip(&gains)
-        .map(|(&h, &(kp, ki))| mode_for_gains(kp, ki, h))
-        .collect::<Result<Vec<_>>>()?;
+    // The tuning chain above is inherently sequential (each interval's
+    // gains seed the next), but the final mode construction is a pure
+    // per-(h, gains) map and parallelises cleanly.
+    let pairs: Vec<(f64, (f64, f64))> =
+        intervals.iter().copied().zip(gains.iter().copied()).collect();
+    let modes = overrun_par::try_parallel_map(&pairs, |_, &(h, (kp, ki))| {
+        mode_for_gains(kp, ki, h)
+    })?;
     ControllerTable::new(modes, hset.clone())
 }
 

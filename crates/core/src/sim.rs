@@ -58,6 +58,19 @@ pub struct Trajectory {
     pub diverged: bool,
 }
 
+/// Cost and stability outcome of a trajectory, without the per-job records
+/// — the return type of the allocation-free [`ClosedLoopSim::run_cost`]
+/// fast path used by Monte Carlo ensembles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSummary {
+    /// Quadratic error cost `Σ_k ‖e[k]‖²` (`∞` on divergence).
+    pub cost: f64,
+    /// Time-weighted quadratic cost `Σ_k ‖e[k]‖² · h_k` (`∞` on divergence).
+    pub cost_integral: f64,
+    /// `true` when the state norm exceeded the divergence threshold.
+    pub diverged: bool,
+}
+
 /// A reusable closed-loop simulator: plant + controller table with all
 /// per-interval discretisations precomputed.
 ///
@@ -160,6 +173,72 @@ impl ClosedLoopSim {
         modes: &[usize],
         initial_mode: usize,
     ) -> Result<Trajectory> {
+        let mut errors = Vec::with_capacity(modes.len());
+        let mut states = Vec::with_capacity(modes.len());
+        let mut commands = Vec::with_capacity(modes.len());
+        let (cost, cost_integral, diverged) =
+            self.run_core(scenario, modes, initial_mode, |e, x, u| {
+                errors.push(Matrix::col_vec(e));
+                states.push(Matrix::col_vec(x));
+                commands.push(Matrix::col_vec(u));
+            })?;
+        let recorded = states.len();
+        Ok(Trajectory {
+            errors,
+            states,
+            commands,
+            mode_sequence: modes[..recorded].to_vec(),
+            cost,
+            cost_integral,
+            diverged,
+        })
+    }
+
+    /// Cost-only fast path: identical dynamics to [`ClosedLoopSim::run`]
+    /// but no per-job trajectory records and no per-step allocation —
+    /// the entry point Monte Carlo ensembles should use. Costs are
+    /// bit-identical to the recording path (both run the same core).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClosedLoopSim::run`].
+    pub fn run_cost(&self, scenario: &SimScenario, modes: &[usize]) -> Result<CostSummary> {
+        self.run_cost_with_initial_mode(scenario, modes, 0)
+    }
+
+    /// Like [`ClosedLoopSim::run_cost`] with an explicit virtual interval
+    /// before the first job (see [`ClosedLoopSim::run_with_initial_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClosedLoopSim::run`].
+    pub fn run_cost_with_initial_mode(
+        &self,
+        scenario: &SimScenario,
+        modes: &[usize],
+        initial_mode: usize,
+    ) -> Result<CostSummary> {
+        let (cost, cost_integral, diverged) =
+            self.run_core(scenario, modes, initial_mode, |_, _, _| {})?;
+        Ok(CostSummary {
+            cost,
+            cost_integral,
+            diverged,
+        })
+    }
+
+    /// The shared stepping core behind [`ClosedLoopSim::run`] and
+    /// [`ClosedLoopSim::run_cost`]: slice buffers only, zero allocation
+    /// per step. `observe(e, x, u_applied)` is called once per simulated
+    /// job (before the plant update, matching the recording order of the
+    /// original implementation).
+    fn run_core<F: FnMut(&[f64], &[f64], &[f64])>(
+        &self,
+        scenario: &SimScenario,
+        modes: &[usize],
+        initial_mode: usize,
+        mut observe: F,
+    ) -> Result<(f64, f64, bool)> {
         let n = self.plant.state_dim();
         let r = self.plant.input_dim();
         if scenario.x0.shape() != (n, 1) {
@@ -177,21 +256,33 @@ impl ClosedLoopSim {
                 scenario.reference.cols()
             )));
         }
-
-        let mut x = scenario.x0.clone();
-        let mut z = Matrix::zeros(self.table.state_dim(), 1);
         if initial_mode >= self.table.len() {
             return Err(Error::InvalidConfig(format!(
                 "initial mode {initial_mode} out of range (H has {} entries)",
                 self.table.len()
             )));
         }
-        let mut u_applied = Matrix::zeros(r, 1);
+
+        let nc = self.table.state_dim();
+        let p = self.table.error_dim();
+        if self.measurement.rows() != p {
+            return Err(Error::InvalidConfig(format!(
+                "measurement matrix has {} rows but the controller expects {p}",
+                self.measurement.rows()
+            )));
+        }
+        let mut x = scenario.x0.as_slice().to_vec();
+        let mut x_next = vec![0.0; n];
+        let mut y = vec![0.0; self.measurement.rows()];
+        let mut e = vec![0.0; p];
+        let mut z = vec![0.0; nc];
+        let mut z_next = vec![0.0; nc];
+        let mut u_applied = vec![0.0; r];
+        let mut u_next = vec![0.0; r];
+        let mut scratch = vec![0.0; nc.max(r).max(n)];
+        let reference = scenario.reference.as_slice();
         let mut prev_mode = initial_mode;
 
-        let mut errors = Vec::with_capacity(modes.len());
-        let mut states = Vec::with_capacity(modes.len());
-        let mut commands = Vec::with_capacity(modes.len());
         let mut cost = 0.0;
         let mut cost_integral = 0.0;
         let mut diverged = false;
@@ -206,16 +297,16 @@ impl ClosedLoopSim {
             }
             // Job k: sample, compute error, run controller with the mode of
             // the previous interval.
-            let y = self.measurement.matmul(&x)?;
-            let e = scenario.reference.sub_mat(&y)?;
+            self.measurement.mul_vec_into(&x, &mut y)?;
+            for ((ei, &ri), &yi) in e.iter_mut().zip(reference).zip(y.iter()) {
+                *ei = ri - yi;
+            }
             let mode = self.table.mode(prev_mode);
-            let (z_new, u_new) = mode.step(&z, &e)?;
-            z = z_new;
+            mode.step_into(&z, &e, &mut scratch, &mut z_next, &mut u_next)?;
+            std::mem::swap(&mut z, &mut z_next);
 
-            errors.push(e.clone());
-            states.push(x.clone());
-            commands.push(u_applied.clone());
-            let e_sq = e.as_slice().iter().map(|v| v * v).sum::<f64>();
+            observe(&e, &x, &u_applied);
+            let e_sq = e.iter().map(|v| v * v).sum::<f64>();
             cost += e_sq;
             cost_integral += e_sq * intervals[mode_idx];
 
@@ -224,32 +315,25 @@ impl ClosedLoopSim {
             // release a_{k+1} (one interval of input–output delay, paper
             // Sec. III).
             let d = &self.discretizations[mode_idx];
-            let x_next = d.step(&x, &u_applied)?;
-            u_applied = u_new;
+            d.step_into(&x, &u_applied, &mut scratch[..n], &mut x_next)?;
+            std::mem::swap(&mut u_applied, &mut u_next);
             prev_mode = mode_idx;
 
-            if !x_next.is_finite() || x_next.max_abs() > self.divergence_threshold {
+            if !x_next.iter().all(|v| v.is_finite())
+                || x_next.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+                    > self.divergence_threshold
+            {
                 diverged = true;
                 // Freeze the state: the trajectory is already classified.
                 break;
             }
-            x = x_next;
+            std::mem::swap(&mut x, &mut x_next);
         }
         if diverged {
             cost = f64::INFINITY;
             cost_integral = f64::INFINITY;
         }
-
-        let recorded = states.len();
-        Ok(Trajectory {
-            errors,
-            states,
-            commands,
-            mode_sequence: modes[..recorded].to_vec(),
-            cost,
-            cost_integral,
-            diverged,
-        })
+        Ok((cost, cost_integral, diverged))
     }
 }
 
@@ -318,6 +402,23 @@ mod tests {
         let traj = sim.run(&scenario, &vec![0; 4000]).unwrap();
         assert!(traj.diverged);
         assert!(traj.cost.is_infinite());
+    }
+
+    #[test]
+    fn run_cost_matches_run_bitwise() {
+        let (plant, table) = setup();
+        let sim = ClosedLoopSim::new(&plant, &table).unwrap();
+        let scenario = SimScenario::step(2, Matrix::col_vec(&[1.0]));
+        let modes: Vec<usize> = (0..200).map(|k| usize::from(k % 3 == 1)).collect();
+        let traj = sim.run(&scenario, &modes).unwrap();
+        let fast = sim.run_cost(&scenario, &modes).unwrap();
+        assert_eq!(fast.cost.to_bits(), traj.cost.to_bits());
+        assert_eq!(fast.cost_integral.to_bits(), traj.cost_integral.to_bits());
+        assert_eq!(fast.diverged, traj.diverged);
+        // With an explicit initial mode, too.
+        let traj = sim.run_with_initial_mode(&scenario, &modes, 1).unwrap();
+        let fast = sim.run_cost_with_initial_mode(&scenario, &modes, 1).unwrap();
+        assert_eq!(fast.cost.to_bits(), traj.cost.to_bits());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use overrun_linalg::{norm_2, spectral_radius, Matrix};
 
-use crate::set::normalize_log;
+use crate::set::{normalize_log, normalize_log_ref};
 use crate::{Error, JsrBounds, MatrixSet, Result};
 
 /// A transition constraint on consecutive switching indices:
@@ -118,12 +118,12 @@ pub fn constrained_bounds(
     let mut level: Vec<Word> = Vec::with_capacity(q);
     let mut level1_max_norm = 0.0_f64;
     for (i, a) in set.iter().enumerate() {
-        let nrm = norm_2(a);
+        let nrm = set.norms()[i];
         level1_max_norm = level1_max_norm.max(nrm);
         if allowed(i, i) {
             lower = lower.max(spectral_radius(a)?);
         }
-        let (product, log_scale) = normalize_log(a.clone(), nrm);
+        let (product, log_scale) = normalize_log_ref(a, nrm);
         level.push(Word {
             product,
             log_scale,

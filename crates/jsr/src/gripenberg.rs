@@ -4,8 +4,9 @@
 //! Linear Algebra Appl. 234 (1996).
 
 use overrun_linalg::{norm_2, spectral_radius, Matrix};
+use overrun_par::{max_threads, try_parallel_map, SharedMaxF64};
 
-use crate::set::normalize_log;
+use crate::set::normalize_log_ref;
 use crate::{precondition, Error, JsrBounds, MatrixSet, Result};
 
 /// Options for [`gripenberg`].
@@ -117,13 +118,12 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
     let mut lb = 0.0_f64;
     let mut products = 0usize;
 
-    // Depth-1 frontier.
+    // Depth-1 frontier, seeded from the cached base-matrix norms.
     let mut frontier: Vec<Node> = Vec::with_capacity(set.len());
-    for a in set {
+    for (a, &nrm) in set.iter().zip(set.norms()) {
         let rho = spectral_radius(a)?;
         lb = lb.max(rho);
-        let nrm = norm_2(a);
-        let (product, log_scale) = normalize_log(a.clone(), nrm);
+        let (product, log_scale) = normalize_log_ref(a, nrm);
         frontier.push(Node {
             product,
             log_scale,
@@ -136,6 +136,10 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
 
     let mut depth = 1usize;
     let mut truncated = false;
+    // Scratch product buffer for the serial path — reused across the whole
+    // search so the per-product allocation only happens for surviving
+    // children.
+    let mut scratch = Matrix::zeros(set.dim(), set.dim());
 
     while !frontier.is_empty() {
         if depth >= opts.max_depth || products >= opts.max_products {
@@ -144,10 +148,35 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
         }
         depth += 1;
         let inv_depth = 1.0 / depth as f64;
-        let mut next = Vec::with_capacity(frontier.len() * set.len());
-        'expand: for (idx, node) in frontier.iter().enumerate() {
-            for a in set {
-                if products >= opts.max_products {
+
+        // A depth is parallelised only when it provably completes within
+        // the product budget — then every node contributes exactly
+        // `set.len()` products, no mid-depth truncation can occur, and the
+        // result is identical to the serial expansion (see below).
+        let full_cost = frontier.len().saturating_mul(set.len());
+        let fits_budget = products.saturating_add(full_cost) <= opts.max_products;
+        let next = if fits_budget && frontier.len() > 1 && max_threads() > 1 {
+            // Shared lower bound: workers read a possibly-lagging value,
+            // which is always a valid lower bound, so (a) skipping the
+            // eigenvalue solve when ‖P‖^{1/d} ≤ lb is sound (ρ ≤ ‖·‖ means
+            // the skipped product cannot raise lb), and (b) pruning with a
+            // lagging lb only keeps extra candidates — the settled-lb
+            // retain below makes the final frontier exactly the serial one.
+            let lb_cell = SharedMaxF64::new(lb);
+            let per_node: Vec<Vec<Node>> = try_parallel_map(&frontier, |_, node| {
+                let mut local = Matrix::zeros(set.dim(), set.dim());
+                expand_node(set, node, inv_depth, opts.delta, &lb_cell, &mut local)
+            })?;
+            products += full_cost;
+            lb = lb_cell.get();
+            // Children concatenated in parent order — same order the
+            // serial loop would have pushed them.
+            per_node.into_iter().flatten().collect()
+        } else {
+            let lb_cell = SharedMaxF64::new(lb);
+            let mut next = Vec::with_capacity(full_cost);
+            'expand: for (idx, node) in frontier.iter().enumerate() {
+                if products.saturating_add(set.len()) > opts.max_products {
                     truncated = true;
                     // Soundness on truncation: the nodes not (fully)
                     // expanded must keep contributing their branch bounds —
@@ -162,43 +191,20 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
                     }
                     break 'expand;
                 }
-                let p = a.matmul(&node.product)?;
-                products += 1;
-                // True quantities in log space: the full product is
-                // exp(node.log_scale) · p.
-                let nrm_p = norm_2(&p);
-                let nrm = if nrm_p > 0.0 {
-                    ((nrm_p.ln() + node.log_scale) * inv_depth).exp()
-                } else {
-                    0.0
-                };
-                // ρ(P) ≤ ‖P‖: the eigenvalue solve can only improve the
-                // lower bound when the norm-based value exceeds it.
-                if nrm > lb {
-                    let rho_p = spectral_radius(&p)?;
-                    let rho = if rho_p > 0.0 {
-                        ((rho_p.ln() + node.log_scale) * inv_depth).exp()
-                    } else {
-                        0.0
-                    };
-                    if rho > lb {
-                        lb = rho;
-                    }
-                }
-                let sigma = node.sigma.min(nrm);
-                if sigma > lb + opts.delta {
-                    let (product, extra) = normalize_log(p, nrm_p);
-                    next.push(Node {
-                        product,
-                        log_scale: node.log_scale + extra,
-                        sigma,
-                    });
-                }
+                let children =
+                    expand_node(set, node, inv_depth, opts.delta, &lb_cell, &mut scratch)?;
+                products += set.len();
+                next.extend(children);
             }
-        }
-        // The lower bound may have grown during expansion: re-prune. Nodes
-        // carried over by a truncation keep their (conservative) σ and are
-        // only dropped when even that cannot beat the bound.
+            lb = lb_cell.get();
+            next
+        };
+
+        // The lower bound may have grown during expansion: re-prune with
+        // the settled value. Nodes carried over by a truncation keep their
+        // (conservative) σ and are only dropped when even that cannot beat
+        // the bound.
+        let mut next = next;
         next.retain(|n| n.sigma > lb + opts.delta);
         frontier = next;
     }
@@ -215,6 +221,55 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
         lower: lb,
         upper: search_upper.min(ellipsoid_bound.max(lb)),
     })
+}
+
+/// Expands one frontier node against every matrix of the set, improving the
+/// shared lower bound and returning the children that survive pruning
+/// against the bound *as currently visible* (final pruning against the
+/// settled bound happens in the caller).
+///
+/// `scratch` holds the raw product; only surviving children allocate.
+fn expand_node(
+    set: &MatrixSet,
+    node: &Node,
+    inv_depth: f64,
+    delta: f64,
+    lb_cell: &SharedMaxF64,
+    scratch: &mut Matrix,
+) -> Result<Vec<Node>> {
+    let mut children = Vec::new();
+    for a in set {
+        a.matmul_into(&node.product, scratch)?;
+        // True quantities in log space: the full product is
+        // exp(node.log_scale) · scratch.
+        let nrm_p = norm_2(scratch);
+        let nrm = if nrm_p > 0.0 {
+            ((nrm_p.ln() + node.log_scale) * inv_depth).exp()
+        } else {
+            0.0
+        };
+        // ρ(P) ≤ ‖P‖: the eigenvalue solve can only improve the lower
+        // bound when the norm-based value exceeds it.
+        if nrm > lb_cell.get() {
+            let rho_p = spectral_radius(scratch)?;
+            let rho = if rho_p > 0.0 {
+                ((rho_p.ln() + node.log_scale) * inv_depth).exp()
+            } else {
+                0.0
+            };
+            lb_cell.update(rho);
+        }
+        let sigma = node.sigma.min(nrm);
+        if sigma > lb_cell.get() + delta {
+            let (product, extra) = normalize_log_ref(scratch, nrm_p);
+            children.push(Node {
+                product,
+                log_scale: node.log_scale + extra,
+                sigma,
+            });
+        }
+    }
+    Ok(children)
 }
 
 #[cfg(test)]
@@ -339,6 +394,29 @@ mod tests {
         let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
         assert!(b.lower <= phi + 1e-9);
         assert!(b.upper >= phi - 1e-3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // The parallel depth expansion is designed to be exactly
+        // reproducible: lagging views of the shared lower bound only
+        // admit extra candidates, and the settled-lb retain recovers the
+        // serial frontier. Verify the certified interval is bit-identical.
+        let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let a3 = Matrix::from_rows(&[&[0.8, -0.4], &[0.3, 0.6]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2, a3]).unwrap();
+        let opts = GripenbergOptions {
+            delta: 1e-3,
+            ..GripenbergOptions::default()
+        };
+        overrun_par::set_thread_override(Some(1));
+        let serial = gripenberg(&set, &opts).unwrap();
+        overrun_par::set_thread_override(Some(4));
+        let par = gripenberg(&set, &opts).unwrap();
+        overrun_par::set_thread_override(None);
+        assert_eq!(serial.lower.to_bits(), par.lower.to_bits());
+        assert_eq!(serial.upper.to_bits(), par.upper.to_bits());
     }
 
     #[test]

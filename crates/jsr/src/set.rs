@@ -1,4 +1,4 @@
-use overrun_linalg::Matrix;
+use overrun_linalg::{norm_2, Matrix};
 
 use crate::{Error, Result};
 
@@ -22,6 +22,10 @@ use crate::{Error, Result};
 pub struct MatrixSet {
     matrices: Vec<Matrix>,
     dim: usize,
+    /// Spectral (2-)norms of the matrices, cached at construction — every
+    /// product-tree search seeds from them, and sets are built once but
+    /// searched many times.
+    norms: Vec<f64>,
 }
 
 impl MatrixSet {
@@ -55,7 +59,12 @@ impl MatrixSet {
                 return Err(Error::InvalidSet(format!("matrix {i} has non-finite entries")));
             }
         }
-        Ok(MatrixSet { matrices, dim })
+        let norms = matrices.iter().map(norm_2).collect();
+        Ok(MatrixSet {
+            matrices,
+            dim,
+            norms,
+        })
     }
 
     /// Number of matrices in the set.
@@ -76,6 +85,12 @@ impl MatrixSet {
     /// The matrices, in insertion order.
     pub fn matrices(&self) -> &[Matrix] {
         &self.matrices
+    }
+
+    /// Cached spectral (2-)norms of the matrices, in insertion order
+    /// (`norms()[i] == norm_2(&matrices()[i])`).
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
     }
 
     /// Iterator over the matrices.
@@ -153,6 +168,16 @@ mod tests {
     }
 
     #[test]
+    fn norms_cached_at_construction() {
+        let a = Matrix::from_rows(&[&[1.0, 100.0], &[0.0001, 2.0]]).unwrap();
+        let b = Matrix::diag(&[3.0, 0.5]);
+        let set = MatrixSet::new(vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(set.norms().len(), 2);
+        assert_eq!(set.norms()[0], norm_2(&a));
+        assert_eq!(set.norms()[1], norm_2(&b));
+    }
+
+    #[test]
     fn similarity_scaling_roundtrip() {
         let a = Matrix::from_rows(&[&[1.0, 100.0], &[0.0001, 2.0]]).unwrap();
         let set = MatrixSet::new(vec![a.clone()]).unwrap();
@@ -182,6 +207,17 @@ pub(crate) fn normalize_log(m: Matrix, nrm: f64) -> (Matrix, f64) {
         (m.scale(1.0 / nrm), nrm.ln())
     } else {
         (m, 0.0)
+    }
+}
+
+/// Borrowing variant of [`normalize_log`] for call sites that only hold a
+/// reference (scratch buffers, set members) — avoids a clone on the common
+/// positive-norm path.
+pub(crate) fn normalize_log_ref(m: &Matrix, nrm: f64) -> (Matrix, f64) {
+    if nrm > 0.0 && nrm.is_finite() {
+        (m.scale(1.0 / nrm), nrm.ln())
+    } else {
+        (m.clone(), 0.0)
     }
 }
 

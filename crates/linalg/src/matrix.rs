@@ -271,6 +271,134 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * rhs` written into `out`, without allocating.
+    ///
+    /// `out` is fully overwritten; it must already have shape
+    /// `self.rows() × rhs.cols()`. The accumulation order is identical to
+    /// [`Matrix::matmul`], so results are bit-identical to the allocating
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != rhs.rows()`
+    /// or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(Error::DimensionMismatch {
+                op: "matmul_into(out)",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        self.matmul_add_into(rhs, out)
+    }
+
+    /// Accumulating product: `out += self * rhs`, without allocating.
+    ///
+    /// Same shape requirements and accumulation order as
+    /// [`Matrix::matmul_into`], but the prior contents of `out` are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on inner-dimension or output
+    /// shape disagreement.
+    pub fn matmul_add_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(Error::DimensionMismatch {
+                op: "matmul_into(out)",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        // Same i-k-j order and zero-skip as `matmul`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a_ik = self.data[i * self.cols + k];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a_ik * r;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product `self * x` written into `out`, without
+    /// allocating. Slice-based so simulation hot loops can keep state in
+    /// plain buffers. Accumulation order matches [`Matrix::matmul`] applied
+    /// to an `n × 1` column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.cols()` or
+    /// `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if out.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec_into(out)",
+                lhs: (self.rows, 1),
+                rhs: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        self.mul_vec_acc_into(x, out)
+    }
+
+    /// Accumulating matrix–vector product: `out += self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on length disagreement.
+    pub fn mul_vec_acc_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec_into(out)",
+                lhs: (self.rows, 1),
+                rhs: (out.len(), 1),
+            });
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = *o;
+            // Zero-skip as in `matmul`, so results (including non-finite
+            // propagation) are bit-identical to the allocating path.
+            for (&a, &xv) in arow.iter().zip(x) {
+                if a == 0.0 {
+                    continue;
+                }
+                acc += a * xv;
+            }
+            *o = acc;
+        }
+        Ok(())
+    }
+
+    /// Scales every entry by `s` in place (no allocation).
+    pub fn scale_in_place(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
     /// Entry-wise sum `self + rhs`.
     ///
     /// # Errors
@@ -723,6 +851,49 @@ mod tests {
             a.matmul(&b),
             Err(Error::DimensionMismatch { op: "matmul", .. })
         ));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i * 7 + j * 13) % 5) as f64 - 2.0 + 0.1 * i as f64);
+        let b = Matrix::from_fn(3, 5, |i, j| 1.0 / (1.0 + (i + 2 * j) as f64));
+        let expected = a.matmul(&b).unwrap();
+        let mut out = Matrix::zeros(4, 5);
+        // Pre-poison to prove the buffer is fully overwritten.
+        out.as_mut_slice().fill(f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        // Accumulating variant adds on top (accumulation interleaves with
+        // the existing contents, so only approximately 2x).
+        a.matmul_add_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&expected.scale(2.0), 1e-14, 1e-14));
+        // Shape errors on both inner dimension and output shape.
+        assert!(a.matmul_into(&Matrix::zeros(4, 4), &mut out).is_err());
+        let mut bad = Matrix::zeros(2, 2);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+    }
+
+    #[test]
+    fn mul_vec_into_matches_matmul_column() {
+        let a = Matrix::from_fn(3, 4, |i, j| if (i + j) % 3 == 0 { 0.0 } else { (i + j) as f64 });
+        let x = [1.5, -2.0, 0.25, 3.0];
+        let expected = a.matmul(&Matrix::col_vec(&x)).unwrap();
+        let mut out = [f64::NAN; 3];
+        a.mul_vec_into(&x, &mut out).unwrap();
+        assert_eq!(&out[..], expected.as_slice());
+        a.mul_vec_acc_into(&x, &mut out).unwrap();
+        assert_eq!(&out[..], expected.scale(2.0).as_slice());
+        assert!(a.mul_vec_into(&x[..3], &mut out).is_err());
+        assert!(a.mul_vec_into(&x, &mut out[..2]).is_err());
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64 - 2.5);
+        let expected = a.scale(-0.75);
+        let mut b = a.clone();
+        b.scale_in_place(-0.75);
+        assert_eq!(b, expected);
     }
 
     #[test]

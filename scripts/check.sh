@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: release build, test suite, and lint-clean clippy.
+# Run from anywhere; operates on the repository that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

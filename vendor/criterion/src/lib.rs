@@ -1,0 +1,234 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! resolved; a path dependency substitutes this one. It implements a
+//! plain wall-clock harness: each benchmark runs one warm-up iteration,
+//! then `sample_size` timed iterations, and reports the mean time per
+//! iteration on stdout in a stable, grep-friendly format:
+//!
+//! ```text
+//! bench: <group>/<id> ... <mean> ns/iter (n = <samples>)
+//! ```
+//!
+//! There is no statistical analysis, outlier rejection or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/<function>/<parameter>` style id.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `routine` (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(None, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnOnce(&mut Bencher, &P),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(group: Option<&str>, id: &BenchmarkId, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.mean_ns.is_nan() {
+        println!("bench: {label} ... no measurement (Bencher::iter never called)");
+    } else {
+        println!("bench: {label} ... {:.0} ns/iter (n = {samples})", b.mean_ns);
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident;
+      config = $config:expr;
+      targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("counter", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| calls += n);
+        });
+        group.finish();
+        assert_eq!(calls, 3 * 7);
+    }
+}
