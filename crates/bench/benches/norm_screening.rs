@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the lazy-exact norm screening: the cheap O(n²)
+//! certified bracket against the exact Schur-based evaluations it replaces,
+//! and the end-to-end effect of screening on the Gripenberg and Eq.-12
+//! searches over a Table-II lifted set.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use overrun_control::prelude::*;
+use overrun_control::scenarios::pmsm_table2_weights;
+use overrun_jsr::{
+    bruteforce_bounds, gripenberg, BruteforceOptions, GripenbergOptions, MatrixSet,
+};
+use overrun_linalg::{cheap_spectral_bounds, norm_2, spectral_radius, Matrix};
+
+/// The Table-II lifted matrix set for one configuration.
+fn lifted_set(factor: f64, ns: u32) -> MatrixSet {
+    let plant = plants::pmsm();
+    let hset = IntervalSet::from_timing(50e-6, factor * 50e-6, ns).expect("valid grid");
+    let table =
+        lqr::design_adaptive(&plant, &hset, &pmsm_table2_weights()).expect("design");
+    let meas = lifted::measurement_matrix(&plant, &table).expect("measurement");
+    MatrixSet::new(lifted::build_omega_set(&plant, &table, &meas).expect("omegas"))
+        .expect("matrix set")
+}
+
+/// A deterministic dense test matrix (no RNG needed).
+fn dense(n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i * n + j) as f64;
+            m[(i, j)] = ((k * 0.734_21).sin() - 0.3) / n as f64;
+        }
+    }
+    m
+}
+
+fn bench_bracket_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_eval");
+    for n in [4usize, 8, 16] {
+        let m = dense(n);
+        group.bench_with_input(BenchmarkId::new("cheap_bracket", n), &m, |b, m| {
+            b.iter(|| black_box(cheap_spectral_bounds(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_norm_2", n), &m, |b, m| {
+            b.iter(|| black_box(norm_2(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_radius", n), &m, |b, m| {
+            b.iter(|| black_box(spectral_radius(m).expect("radius")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_screened_searches(c: &mut Criterion) {
+    let set = lifted_set(1.3, 2);
+    let mut group = c.benchmark_group("norm_screening");
+    group.sample_size(10);
+    for screen in [false, true] {
+        let label = if screen { "on" } else { "off" };
+        group.bench_function(BenchmarkId::new("gripenberg", label), |b| {
+            b.iter(|| {
+                gripenberg(
+                    &set,
+                    &GripenbergOptions {
+                        max_depth: 10,
+                        screen,
+                        ..Default::default()
+                    },
+                )
+                .expect("bounds")
+            })
+        });
+        group.bench_function(BenchmarkId::new("eq12_depth6", label), |b| {
+            b.iter(|| {
+                bruteforce_bounds(
+                    &set,
+                    &BruteforceOptions {
+                        max_depth: 6,
+                        screen,
+                        ..Default::default()
+                    },
+                )
+                .expect("bounds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bracket_vs_exact, bench_screened_searches);
+criterion_main!(benches);

@@ -51,4 +51,12 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
+
+    let mut metrics: Vec<(&str, f64)> = vec![("rows", rows.len() as f64)];
+    let worst = rows
+        .iter()
+        .map(|r| r.jw_adaptive)
+        .fold(f64::NEG_INFINITY, f64::max);
+    metrics.push(("max_jw_adaptive", worst));
+    args.maybe_write_json("table1", threads, elapsed, &metrics);
 }

@@ -39,6 +39,13 @@ fn main() {
     };
     let elapsed = started.elapsed();
     println!("{}", format_table2(&rows));
+    println!("norm screening (adaptive-design certifications):");
+    for r in &rows {
+        println!(
+            "  Rmax={:.1}*T Ns={}: {}",
+            r.rmax_factor, r.ns, r.screen_adaptive
+        );
+    }
     println!("elapsed: {elapsed:.1?}");
 
     let mut csv = run_header(threads, elapsed);
@@ -64,4 +71,25 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
+
+    let mut screen = overrun_jsr::ScreenStats::default();
+    for r in &rows {
+        screen.absorb(&r.screen_adaptive);
+    }
+    let max_ub = rows
+        .iter()
+        .map(|r| r.jsr_adaptive.upper)
+        .fold(f64::NEG_INFINITY, f64::max);
+    args.maybe_write_json(
+        "table2",
+        threads,
+        elapsed,
+        &[
+            ("rows", rows.len() as f64),
+            ("max_jsr_ub", max_ub),
+            ("schur_evals", screen.schur_evals() as f64),
+            ("schur_skipped", screen.schur_skipped() as f64),
+            ("screen_hit_rate", screen.hit_rate()),
+        ],
+    );
 }

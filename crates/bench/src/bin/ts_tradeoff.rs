@@ -55,4 +55,15 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
+
+    let max_ub = rows
+        .iter()
+        .map(|r| r.jsr.upper)
+        .fold(f64::NEG_INFINITY, f64::max);
+    args.maybe_write_json(
+        "ts_tradeoff",
+        threads,
+        elapsed,
+        &[("rows", rows.len() as f64), ("max_jsr_ub", max_ub)],
+    );
 }

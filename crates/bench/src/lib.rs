@@ -19,7 +19,9 @@ use std::path::PathBuf;
 /// * `--quick` — 500 sequences, for smoke runs,
 /// * `--threads N` — worker threads (default: `OVERRUN_THREADS` env or all
 ///   cores; results are bit-identical for any value),
-/// * `--out DIR` — directory for CSV output (default `bench_results`).
+/// * `--out DIR` — directory for CSV output (default `bench_results`),
+/// * `--json PATH` — append a machine-readable summary record to `PATH`
+///   (JSON lines; the `BENCH_JSON` env var sets a default path).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Random sequences per configuration.
@@ -32,6 +34,8 @@ pub struct RunArgs {
     pub threads: Option<usize>,
     /// Output directory for CSV artifacts.
     pub out_dir: PathBuf,
+    /// Append-mode JSON-lines summary file (`--json` / `BENCH_JSON`).
+    pub json: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
@@ -42,6 +46,7 @@ impl Default for RunArgs {
             seed: 2021,
             threads: None,
             out_dir: PathBuf::from("bench_results"),
+            json: None,
         }
     }
 }
@@ -78,8 +83,21 @@ impl RunArgs {
                         .ok_or_else(|| "--out requires a directory".to_string())?;
                     out.out_dir = PathBuf::from(v);
                 }
+                "--json" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--json requires a file path".to_string())?;
+                    out.json = Some(PathBuf::from(v));
+                }
                 other => {
                     return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+        if out.json.is_none() {
+            if let Ok(p) = std::env::var("BENCH_JSON") {
+                if !p.is_empty() {
+                    out.json = Some(PathBuf::from(p));
                 }
             }
         }
@@ -114,6 +132,64 @@ impl RunArgs {
         std::fs::write(&path, contents)?;
         Ok(path)
     }
+
+    /// Appends one machine-readable summary record to the `--json` /
+    /// `BENCH_JSON` file, if one was requested. I/O failures are reported
+    /// on stderr, never fatal — the human-readable output already happened.
+    pub fn maybe_write_json(
+        &self,
+        bin: &str,
+        threads: usize,
+        elapsed: std::time::Duration,
+        key_metrics: &[(&str, f64)],
+    ) {
+        let Some(path) = &self.json else { return };
+        let record = json_record(bin, threads, elapsed, key_metrics);
+        if let Err(e) = append_line(path, &record) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Formats one JSON-lines benchmark record:
+/// `{"bin": ..., "threads": ..., "elapsed_ms": ..., "key_metrics": {...}}`.
+/// Non-finite metric values are emitted as `null` (JSON has no `inf`/`nan`).
+#[must_use]
+pub fn json_record(
+    bin: &str,
+    threads: usize,
+    elapsed: std::time::Duration,
+    key_metrics: &[(&str, f64)],
+) -> String {
+    let mut metrics = String::new();
+    for (i, (k, v)) in key_metrics.iter().enumerate() {
+        if i > 0 {
+            metrics.push_str(", ");
+        }
+        if v.is_finite() {
+            metrics.push_str(&format!("\"{k}\": {v}"));
+        } else {
+            metrics.push_str(&format!("\"{k}\": null"));
+        }
+    }
+    format!(
+        "{{\"bin\": \"{bin}\", \"threads\": {threads}, \"elapsed_ms\": {:.3}, \"key_metrics\": {{{metrics}}}}}",
+        elapsed.as_secs_f64() * 1e3
+    )
+}
+
+fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
 }
 
 /// Formats the `#`-comment provenance header prepended to every CSV
@@ -176,6 +252,46 @@ mod tests {
         assert_eq!(a.threads, Some(4));
         assert_eq!(RunArgs::default().threads, None);
         assert!(RunArgs::parse(["--threads".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_json_flag() {
+        let a = RunArgs::parse(["--json".to_string(), "/tmp/b.json".to_string()]).unwrap();
+        assert_eq!(a.json, Some(PathBuf::from("/tmp/b.json")));
+        assert!(RunArgs::parse(["--json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn json_record_format() {
+        let r = json_record(
+            "table2",
+            4,
+            std::time::Duration::from_millis(1234),
+            &[("jsr_ub", 0.75), ("cost", f64::INFINITY)],
+        );
+        assert_eq!(
+            r,
+            "{\"bin\": \"table2\", \"threads\": 4, \"elapsed_ms\": 1234.000, \
+             \"key_metrics\": {\"jsr_ub\": 0.75, \"cost\": null}}"
+        );
+    }
+
+    #[test]
+    fn json_append_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("overrun-bench-test-{}", std::process::id()));
+        let path = dir.join("out.json");
+        let _ = std::fs::remove_file(&path);
+        let args = RunArgs {
+            json: Some(path.clone()),
+            ..RunArgs::default()
+        };
+        let t = std::time::Duration::from_millis(10);
+        args.maybe_write_json("a", 1, t, &[("x", 1.0)]);
+        args.maybe_write_json("b", 2, t, &[("y", 2.0)]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().nth(1).unwrap().contains("\"bin\": \"b\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! These functions are used both by the `overrun-bench` binaries (full
 //! paper-scale runs) and by the integration tests (reduced ensembles).
 
-use overrun_jsr::JsrBounds;
+use overrun_jsr::{JsrBounds, ScreenStats};
 use overrun_linalg::Matrix;
 
 use crate::lqr::LqrWeights;
@@ -146,6 +146,8 @@ pub struct Table2Row {
     /// Cost of the ideal fixed-period baseline: designed **and executed**
     /// at period `Rmax` (no overruns by construction).
     pub cost_fixed_period_rmax: f64,
+    /// Norm-screening statistics of the adaptive design's certification.
+    pub screen_adaptive: ScreenStats,
 }
 
 /// Runs the Table II experiment: an LQR-controlled plant (the PMSM in the
@@ -223,6 +225,7 @@ pub fn table2(
                 cost_fixed_t: worst(&fixed_t)?,
                 cost_fixed_rmax: worst(&fixed_rmax)?,
                 cost_fixed_period_rmax: fixed_period_cost,
+                screen_adaptive: report.screen,
             });
         }
     }

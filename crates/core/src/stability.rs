@@ -1,8 +1,8 @@
 //! Joint-spectral-radius stability certification (paper Sec. V-A).
 
 use overrun_jsr::{
-    bruteforce_bounds, constrained_bounds, refined_bounds, BruteforceOptions,
-    ConstrainedOptions, GripenbergOptions, JsrBounds, MatrixSet, RefineOptions,
+    bruteforce_bounds, constrained_bounds, refined_bounds_with_stats, BruteforceOptions,
+    ConstrainedOptions, GripenbergOptions, JsrBounds, MatrixSet, RefineOptions, ScreenStats,
     StabilityVerdict,
 };
 
@@ -41,6 +41,9 @@ pub struct StabilityReport {
     pub bounds: JsrBounds,
     /// Stable / unstable / undecided within budget.
     pub verdict: StabilityVerdict,
+    /// Norm-screening statistics of the underlying product-tree searches
+    /// (all zeros for certification paths that do not screen).
+    pub screen: ScreenStats,
 }
 
 /// Builds the lifted matrix set `{Ω(h) : h ∈ H}` for a design.
@@ -94,7 +97,7 @@ pub fn certify(
     opts: &CertifyOptions,
 ) -> Result<StabilityReport> {
     let set = lifted_set(plant, table)?;
-    let bounds = refined_bounds(
+    let (bounds, screen) = refined_bounds_with_stats(
         &set,
         &RefineOptions {
             base: GripenbergOptions {
@@ -103,6 +106,7 @@ pub fn certify(
                 max_products: opts.max_products,
                 precondition: true,
                 ellipsoid: true,
+                screen: true,
             },
             max_power: opts.max_power,
             max_alphabet: 1024,
@@ -110,7 +114,11 @@ pub fn certify(
         },
     )?;
     let verdict = verdict_from(&bounds);
-    Ok(StabilityReport { bounds, verdict })
+    Ok(StabilityReport {
+        bounds,
+        verdict,
+        screen,
+    })
 }
 
 /// Certifies stability under a *constrained* switching language: only mode
@@ -155,7 +163,11 @@ pub fn certify_constrained(
         },
     )?;
     let verdict = verdict_from(&bounds);
-    Ok(StabilityReport { bounds, verdict })
+    Ok(StabilityReport {
+        bounds,
+        verdict,
+        screen: ScreenStats::default(),
+    })
 }
 
 /// Computes the paper-Eq.-12 brute-force bounds on the same lifted set —

@@ -2,6 +2,7 @@
 
 use overrun_linalg::{norm_2, spectral_radius, Matrix};
 
+use crate::screen::{scale_pow, scaled_cheap_bounds, ScreenCounters, ScreenStats};
 use crate::set::normalize_log;
 use crate::{precondition, Error, JsrBounds, MatrixSet, Result};
 
@@ -15,6 +16,10 @@ pub struct BruteforceOptions {
     pub max_products: usize,
     /// Apply joint diagonal preconditioning first. Default: `true`.
     pub precondition: bool,
+    /// Screen exact Schur evaluations with the O(n²) certified bounds.
+    /// Bitwise-neutral: every skipped evaluation is proven unable to move
+    /// either level maximum (see [`crate::screen`]). Default: `true`.
+    pub screen: bool,
 }
 
 impl Default for BruteforceOptions {
@@ -23,6 +28,7 @@ impl Default for BruteforceOptions {
             max_depth: 8,
             max_products: 2_000_000,
             precondition: true,
+            screen: true,
         }
     }
 }
@@ -64,6 +70,26 @@ impl Default for BruteforceOptions {
 /// # }
 /// ```
 pub fn bruteforce_bounds(set: &MatrixSet, opts: &BruteforceOptions) -> Result<JsrBounds> {
+    Ok(bruteforce_bounds_with_stats(set, opts)?.0)
+}
+
+/// Like [`bruteforce_bounds`], additionally returning the screening
+/// statistics of the enumeration.
+///
+/// The returned bounds are bit-identical to [`bruteforce_bounds`] under the
+/// same options, with screening on or off: skips happen only where the
+/// exact value provably could not move a level maximum. Skip decisions on
+/// the lower-bound side use the gate `max(lower, level_max_rho)` — a value
+/// at or below it folds into `level_max_rho` without affecting the level's
+/// `lower = max(lower, level_max_rho)` update or any later gate.
+///
+/// # Errors
+///
+/// Same as [`bruteforce_bounds`].
+pub fn bruteforce_bounds_with_stats(
+    set: &MatrixSet,
+    opts: &BruteforceOptions,
+) -> Result<(JsrBounds, ScreenStats)> {
     if opts.max_depth == 0 {
         return Err(Error::InvalidOptions("max_depth must be >= 1".into()));
     }
@@ -78,6 +104,8 @@ pub fn bruteforce_bounds(set: &MatrixSet, opts: &BruteforceOptions) -> Result<Js
     let mut lower = 0.0_f64;
     let mut upper = f64::INFINITY;
     let mut products_formed = 0usize;
+    let counters = ScreenCounters::default();
+    let mut lb_depth = 0usize;
 
     // Level 0: the empty product. Products are stored normalised with their
     // scale in log space so deep levels cannot overflow.
@@ -85,7 +113,8 @@ pub fn bruteforce_bounds(set: &MatrixSet, opts: &BruteforceOptions) -> Result<Js
 
     for depth in 1..=opts.max_depth {
         let needed = level.len().saturating_mul(set.len());
-        if products_formed.saturating_add(needed) > opts.max_products {
+        let after_level = products_formed.saturating_add(needed);
+        if after_level > opts.max_products {
             // Cannot complete this level; stop with what we have.
             if depth == 1 {
                 return Err(Error::BudgetExhausted {
@@ -95,44 +124,91 @@ pub fn bruteforce_bounds(set: &MatrixSet, opts: &BruteforceOptions) -> Result<Js
             }
             break;
         }
+        // A level is terminal when its children can never be consumed: the
+        // depth cap is reached, or the next level's product count (every
+        // child times the alphabet) would trip the budget check above.
+        let terminal = depth == opts.max_depth
+            || after_level.saturating_add(needed.saturating_mul(set.len())) > opts.max_products;
         let inv_depth = 1.0 / depth as f64;
-        let mut next = Vec::with_capacity(needed);
+        // Depth 1 multiplies by the identity: `norm_2(A·I)` is bit-identical
+        // to the cached `norm_2(A)` held by the set.
+        let cached = depth == 1;
+        let mut next = if terminal {
+            Vec::new()
+        } else {
+            Vec::with_capacity(needed)
+        };
         let mut level_max_rho = 0.0_f64;
         let mut level_max_norm = 0.0_f64;
         for (p, log_scale) in &level {
-            for a in set {
+            for (a, &base_nrm) in set.iter().zip(set.norms()) {
                 let q = a.matmul(p)?;
                 products_formed += 1;
-                let nrm_q = norm_2(&q);
-                let norm_pow = if nrm_q > 0.0 {
-                    ((nrm_q.ln() + log_scale) * inv_depth).exp()
+                counters.node();
+                let gate = lower.max(level_max_rho);
+                let (nrm_hi, rho_hi) = if opts.screen {
+                    scaled_cheap_bounds(&q, *log_scale, inv_depth)
                 } else {
-                    0.0
+                    (f64::INFINITY, f64::INFINITY)
                 };
+                // On a terminal level children are never consumed, so a node
+                // whose cheap bounds cannot move either level maximum is a
+                // provable no-op and can be dropped before the exact norm.
+                // The eigenvalue solve is a no-op either when the radius
+                // bound folds below the gate or when `nrm_hi ≤ lower` makes
+                // the `norm_pow > lower` gate below provably false.
+                if !cached
+                    && terminal
+                    && nrm_hi <= level_max_norm
+                    && (rho_hi <= gate || nrm_hi <= lower)
+                {
+                    counters.skip_norm();
+                    counters.skip_eig();
+                    continue;
+                }
+                let nrm_q = if cached {
+                    counters.cached_norm();
+                    base_nrm
+                } else {
+                    counters.exact_norm();
+                    norm_2(&q)
+                };
+                let norm_pow = scale_pow(nrm_q, *log_scale, inv_depth);
                 level_max_norm = level_max_norm.max(norm_pow);
                 // ρ(Q) ≤ ‖Q‖: the eigenvalue solve can only raise the lower
                 // bound when the norm-based value exceeds it.
                 if norm_pow > lower {
-                    let rho_q = spectral_radius(&q)?;
-                    if rho_q > 0.0 {
-                        level_max_rho =
-                            level_max_rho.max(((rho_q.ln() + log_scale) * inv_depth).exp());
+                    if rho_hi <= gate {
+                        counters.skip_eig();
+                    } else {
+                        counters.exact_eig();
+                        let rho_q = spectral_radius(&q)?;
+                        level_max_rho = level_max_rho.max(scale_pow(rho_q, *log_scale, inv_depth));
                     }
                 }
-                let (scaled, extra) = normalize_log(q, nrm_q);
-                next.push((scaled, log_scale + extra));
+                if !terminal {
+                    let (scaled, extra) = normalize_log(q, nrm_q);
+                    next.push((scaled, log_scale + extra));
+                }
             }
         }
-        lower = lower.max(level_max_rho);
+        let new_lower = lower.max(level_max_rho);
+        if new_lower > lower {
+            lb_depth = depth;
+        }
+        lower = new_lower;
         upper = upper.min(if level_max_norm > 0.0 {
             level_max_norm
         } else {
             0.0
         });
+        if terminal {
+            break;
+        }
         level = next;
     }
 
-    Ok(JsrBounds { lower, upper })
+    Ok((JsrBounds { lower, upper }, counters.snapshot(lb_depth)))
 }
 
 #[cfg(test)]
@@ -189,6 +265,7 @@ mod tests {
                 max_depth: 20,
                 max_products: 10,
                 precondition: false,
+                screen: true,
             },
         )
         .unwrap();
@@ -206,6 +283,7 @@ mod tests {
                 max_depth: 3,
                 max_products: 1,
                 precondition: false,
+                screen: true,
             },
         );
         assert!(matches!(res, Err(Error::BudgetExhausted { .. })));
@@ -230,6 +308,36 @@ mod tests {
         assert!(b6.lower >= b3.lower - 1e-12);
         assert!(b6.upper <= b3.upper + 1e-12);
         assert!(b6.lower <= b6.upper + 1e-12);
+    }
+
+    #[test]
+    fn screening_is_bitwise_neutral_and_skips_work() {
+        let a1 = Matrix::from_rows(&[&[0.6, 0.4], &[-0.2, 0.7]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[0.5, -0.3], &[0.4, 0.6]]).unwrap();
+        let a3 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2, a3]).unwrap();
+        let on = BruteforceOptions {
+            max_depth: 7,
+            ..BruteforceOptions::default()
+        };
+        let off = BruteforceOptions {
+            screen: false,
+            ..on.clone()
+        };
+        let (b_on, s_on) = bruteforce_bounds_with_stats(&set, &on).unwrap();
+        let (b_off, s_off) = bruteforce_bounds_with_stats(&set, &off).unwrap();
+        assert_eq!(b_on.lower.to_bits(), b_off.lower.to_bits());
+        assert_eq!(b_on.upper.to_bits(), b_off.upper.to_bits());
+        assert_eq!(s_on.lb_depth, s_off.lb_depth);
+        assert_eq!(s_on.nodes, s_off.nodes, "screening must not prune nodes");
+        assert_eq!(s_off.schur_skipped(), 0);
+        assert!(
+            s_on.schur_evals() < s_off.schur_evals(),
+            "screening saved nothing: on={s_on} off={s_off}"
+        );
+        // Depth-1 norms come from the set cache in both modes.
+        assert_eq!(s_on.cached_norms, 3);
+        assert_eq!(s_off.cached_norms, 3);
     }
 
     #[test]

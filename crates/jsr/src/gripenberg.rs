@@ -3,9 +3,10 @@
 //! Reference: G. Gripenberg, *"Computing the joint spectral radius"*,
 //! Linear Algebra Appl. 234 (1996).
 
-use overrun_linalg::{norm_2, spectral_radius, Matrix};
+use overrun_linalg::{norm_2, spectral_radius, spectral_radius_upper, Matrix};
 use overrun_par::{max_threads, try_parallel_map, SharedMaxF64};
 
+use crate::screen::{scale_pow, scaled_cheap_bounds, ScreenCounters, ScreenStats};
 use crate::set::normalize_log_ref;
 use crate::{precondition, Error, JsrBounds, MatrixSet, Result};
 
@@ -25,6 +26,12 @@ pub struct GripenbergOptions {
     /// (dramatically tighter upper bounds for non-normal sets; costs a few
     /// thousand small-matrix norm evaluations up front). Default: `true`.
     pub ellipsoid: bool,
+    /// Screen product-tree nodes with O(n²) certified norm brackets and
+    /// fall back to the exact Schur-based evaluations only when the bracket
+    /// straddles a decision. Never changes a single bit of the returned
+    /// bounds — see [`crate::ScreenStats`] for what it saves.
+    /// Default: `true`.
+    pub screen: bool,
 }
 
 impl Default for GripenbergOptions {
@@ -35,6 +42,7 @@ impl Default for GripenbergOptions {
             max_products: 500_000,
             precondition: true,
             ellipsoid: true,
+            screen: true,
         }
     }
 }
@@ -89,6 +97,23 @@ struct Node {
 /// # }
 /// ```
 pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds> {
+    Ok(gripenberg_with_stats(set, opts)?.0)
+}
+
+/// Like [`gripenberg`], additionally returning the screening statistics of
+/// the search: exact Schur evaluations performed vs. avoided, cache hits
+/// and the product length at which the final lower bound was attained.
+///
+/// The bounds are identical (bitwise) to [`gripenberg`]'s for the same
+/// options, at any thread count, with screening on or off.
+///
+/// # Errors
+///
+/// Same as [`gripenberg`].
+pub fn gripenberg_with_stats(
+    set: &MatrixSet,
+    opts: &GripenbergOptions,
+) -> Result<(JsrBounds, ScreenStats)> {
     if !(opts.delta > 0.0 && opts.delta.is_finite()) {
         return Err(Error::InvalidOptions(format!(
             "delta must be positive and finite, got {}",
@@ -117,12 +142,27 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
 
     let mut lb = 0.0_f64;
     let mut products = 0usize;
+    let counters = ScreenCounters::default();
 
-    // Depth-1 frontier, seeded from the cached base-matrix norms.
+    // Depth-1 frontier, seeded from the cached base-matrix norms (no
+    // recomputation — the cache is rebuilt by the preconditioning /
+    // ellipsoid transforms above, so it always matches the working set).
     let mut frontier: Vec<Node> = Vec::with_capacity(set.len());
     for (a, &nrm) in set.iter().zip(set.norms()) {
-        let rho = spectral_radius(a)?;
-        lb = lb.max(rho);
+        counters.node();
+        counters.cached_norm();
+        // The guarded cheap bound dominates the *computed* ρ(A): when it
+        // already sits at or below lb, the eigenvalue solve could only
+        // produce a value the max-fold ignores — skipping it is a bitwise
+        // no-op. (The cached exact norm carries no such guard, so it takes
+        // no part in this decision.)
+        if opts.screen && spectral_radius_upper(a) <= lb {
+            counters.skip_eig();
+        } else {
+            counters.exact_eig();
+            let rho = spectral_radius(a)?;
+            lb = lb.max(rho);
+        }
         let (product, log_scale) = normalize_log_ref(a, nrm);
         frontier.push(Node {
             product,
@@ -131,6 +171,7 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
         });
         products += 1;
     }
+    let mut lb_depth = if lb > 0.0 { 1 } else { 0 };
     // Prune depth-1 nodes that can already not beat lb + delta.
     frontier.retain(|n| n.sigma > lb + opts.delta);
 
@@ -148,6 +189,17 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
         }
         depth += 1;
         let inv_depth = 1.0 / depth as f64;
+        let lb_before = lb;
+        // Children born at the depth cap are never expanded: past this
+        // point they only feed the `search_upper` max-fold (the retain
+        // below drops exactly the σ ≤ lb + δ values that fold is seeded
+        // with, so membership is irrelevant to the result). That fold is
+        // order-independent, so a terminal child whose cheap σ bound
+        // cannot exceed the running maximum of *exact* σ values is a
+        // provable no-op. The shared cell tracks that running maximum;
+        // lagging views only make screening more conservative.
+        let terminal = depth == opts.max_depth;
+        let sigma_cell = SharedMaxF64::new(lb + opts.delta);
 
         // A depth is parallelised only when it provably completes within
         // the product budget — then every node contributes exactly
@@ -165,7 +217,18 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
             let lb_cell = SharedMaxF64::new(lb);
             let per_node: Vec<Vec<Node>> = try_parallel_map(&frontier, |_, node| {
                 let mut local = Matrix::zeros(set.dim(), set.dim());
-                expand_node(set, node, inv_depth, opts.delta, &lb_cell, &mut local)
+                expand_node(
+                    set,
+                    node,
+                    inv_depth,
+                    opts.delta,
+                    opts.screen,
+                    terminal,
+                    &lb_cell,
+                    &sigma_cell,
+                    &counters,
+                    &mut local,
+                )
             })?;
             products += full_cost;
             lb = lb_cell.get();
@@ -191,8 +254,18 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
                     }
                     break 'expand;
                 }
-                let children =
-                    expand_node(set, node, inv_depth, opts.delta, &lb_cell, &mut scratch)?;
+                let children = expand_node(
+                    set,
+                    node,
+                    inv_depth,
+                    opts.delta,
+                    opts.screen,
+                    terminal,
+                    &lb_cell,
+                    &sigma_cell,
+                    &counters,
+                    &mut scratch,
+                )?;
                 products += set.len();
                 next.extend(children);
             }
@@ -207,6 +280,11 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
         let mut next = next;
         next.retain(|n| n.sigma > lb + opts.delta);
         frontier = next;
+        // Per-depth settled lb is deterministic (scheduling and screening
+        // only skip max-fold no-ops), so this provenance marker is too.
+        if lb > lb_before {
+            lb_depth = depth;
+        }
     }
 
     let search_upper = if truncated {
@@ -217,10 +295,13 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
     } else {
         lb + opts.delta
     };
-    Ok(JsrBounds {
-        lower: lb,
-        upper: search_upper.min(ellipsoid_bound.max(lb)),
-    })
+    Ok((
+        JsrBounds {
+            lower: lb,
+            upper: search_upper.min(ellipsoid_bound.max(lb)),
+        },
+        counters.snapshot(lb_depth),
+    ))
 }
 
 /// Expands one frontier node against every matrix of the set, improving the
@@ -228,38 +309,93 @@ pub fn gripenberg(set: &MatrixSet, opts: &GripenbergOptions) -> Result<JsrBounds
 /// against the bound *as currently visible* (final pruning against the
 /// settled bound happens in the caller).
 ///
+/// With `screen` enabled, each child is first bracketed by the O(n²)
+/// certified bounds; the exact Schur evaluations run only when the bracket
+/// straddles a decision. Every skip is a provable bitwise no-op:
+///
+/// * a child is dropped without its exact norm only when even the cheap
+///   *upper* bound keeps `σ` at or below `lb + δ` (the exact σ, which can
+///   only be smaller, would have been pruned too) *and* the eigenvalue
+///   solve is provably a no-op — because the cheap radius bound sits at or
+///   below `lb`, or because the cheap norm bound does (then `ρ ≤ ‖·‖ ≤ lb`
+///   and the `nrm > lb` gate cannot fire);
+/// * the eigenvalue solve is skipped only when the guarded cheap radius
+///   bound sits at or below a value `lb` already reached — the max-fold
+///   would have ignored the exact ρ.
+///
+/// On the **terminal** depth (the last expansion before the depth cap) the
+/// pruning threshold is widened to the running maximum of exact σ values
+/// seen this depth: terminal children are never expanded, so their only
+/// effect is the order-independent `search_upper` max-fold, and a child
+/// whose cheap σ bound cannot exceed that running maximum folds to nothing.
+///
+/// Skip thresholds use possibly-lagging views of the shared cells, which
+/// only makes screening *more* conservative (a smaller threshold skips
+/// less), so the parallel determinism argument of the unscreened path
+/// carries over unchanged.
+///
 /// `scratch` holds the raw product; only surviving children allocate.
+#[allow(clippy::too_many_arguments)]
 fn expand_node(
     set: &MatrixSet,
     node: &Node,
     inv_depth: f64,
     delta: f64,
+    screen: bool,
+    terminal: bool,
     lb_cell: &SharedMaxF64,
+    sigma_cell: &SharedMaxF64,
+    counters: &ScreenCounters,
     scratch: &mut Matrix,
 ) -> Result<Vec<Node>> {
     let mut children = Vec::new();
     for a in set {
         a.matmul_into(&node.product, scratch)?;
+        counters.node();
         // True quantities in log space: the full product is
         // exp(node.log_scale) · scratch.
-        let nrm_p = norm_2(scratch);
-        let nrm = if nrm_p > 0.0 {
-            ((nrm_p.ln() + node.log_scale) * inv_depth).exp()
+        let (nrm_hi, rho_hi) = if screen {
+            scaled_cheap_bounds(scratch, node.log_scale, inv_depth)
         } else {
-            0.0
+            (f64::INFINITY, f64::INFINITY)
         };
+        let lb_seen = lb_cell.get();
+        // Full skip: the child provably folds to nothing (even the cheap
+        // upper bound keeps σ at or below the pruning threshold — or, on
+        // the terminal depth, below an exact σ already folded) AND the
+        // eigenvalue solve is provably a no-op — either because the radius
+        // bound already sits at or below lb, or because `nrm_hi ≤ lb`
+        // makes the `nrm > lb` gate below provably false (the shared
+        // bound only grows).
+        let sigma_gate = if terminal {
+            sigma_cell.get().max(lb_seen + delta)
+        } else {
+            lb_seen + delta
+        };
+        if node.sigma.min(nrm_hi) <= sigma_gate && (rho_hi <= lb_seen || nrm_hi <= lb_seen) {
+            counters.skip_norm();
+            counters.skip_eig();
+            continue;
+        }
+        let nrm_p = norm_2(scratch);
+        counters.exact_norm();
+        let nrm = scale_pow(nrm_p, node.log_scale, inv_depth);
         // ρ(P) ≤ ‖P‖: the eigenvalue solve can only improve the lower
         // bound when the norm-based value exceeds it.
         if nrm > lb_cell.get() {
-            let rho_p = spectral_radius(scratch)?;
-            let rho = if rho_p > 0.0 {
-                ((rho_p.ln() + node.log_scale) * inv_depth).exp()
+            if rho_hi <= lb_seen {
+                counters.skip_eig();
             } else {
-                0.0
-            };
-            lb_cell.update(rho);
+                counters.exact_eig();
+                let rho_p = spectral_radius(scratch)?;
+                let rho = scale_pow(rho_p, node.log_scale, inv_depth);
+                lb_cell.update(rho);
+            }
         }
         let sigma = node.sigma.min(nrm);
+        if terminal {
+            sigma_cell.update(sigma);
+        }
         if sigma > lb_cell.get() + delta {
             let (product, extra) = normalize_log_ref(scratch, nrm_p);
             children.push(Node {
@@ -388,6 +524,7 @@ mod tests {
                 max_products: 50,
                 precondition: false,
                 ellipsoid: false,
+                screen: true,
             },
         )
         .unwrap();
@@ -417,6 +554,32 @@ mod tests {
         overrun_par::set_thread_override(None);
         assert_eq!(serial.lower.to_bits(), par.lower.to_bits());
         assert_eq!(serial.upper.to_bits(), par.upper.to_bits());
+    }
+
+    #[test]
+    fn screening_is_bitwise_neutral_and_skips_work() {
+        let a1 = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let a3 = Matrix::from_rows(&[&[0.8, -0.4], &[0.3, 0.6]]).unwrap();
+        let set = MatrixSet::new(vec![a1, a2, a3]).unwrap();
+        let on = GripenbergOptions {
+            delta: 1e-3,
+            ..GripenbergOptions::default()
+        };
+        let off = GripenbergOptions {
+            screen: false,
+            ..on.clone()
+        };
+        let (b_on, s_on) = gripenberg_with_stats(&set, &on).unwrap();
+        let (b_off, s_off) = gripenberg_with_stats(&set, &off).unwrap();
+        assert_eq!(b_on.lower.to_bits(), b_off.lower.to_bits());
+        assert_eq!(b_on.upper.to_bits(), b_off.upper.to_bits());
+        assert_eq!(s_on.lb_depth, s_off.lb_depth);
+        assert_eq!(s_off.schur_skipped(), 0);
+        assert!(
+            s_on.schur_evals() < s_off.schur_evals(),
+            "screening saved nothing: on={s_on} off={s_off}"
+        );
     }
 
     #[test]

@@ -44,15 +44,17 @@ mod error;
 mod gripenberg;
 mod precondition;
 mod refine;
+mod screen;
 mod set;
 
-pub use bruteforce::{bruteforce_bounds, BruteforceOptions};
+pub use bruteforce::{bruteforce_bounds, bruteforce_bounds_with_stats, BruteforceOptions};
 pub use constrained::{constrained_bounds, ConstrainedOptions, TransitionPredicate};
 pub use ellipsoid::{kronecker_sum_bounds, optimize_ellipsoid, Ellipsoid, EllipsoidOptions};
 pub use error::Error;
-pub use gripenberg::{gripenberg, GripenbergOptions};
+pub use gripenberg::{gripenberg, gripenberg_with_stats, GripenbergOptions};
 pub use precondition::precondition;
-pub use refine::{refined_bounds, RefineOptions};
+pub use refine::{refined_bounds, refined_bounds_with_stats, RefineOptions};
+pub use screen::ScreenStats;
 pub use set::MatrixSet;
 
 /// Convenience alias for `Result<T, overrun_jsr::Error>`.

@@ -9,7 +9,10 @@
 
 use overrun_linalg::Matrix;
 
-use crate::{gripenberg, Error, GripenbergOptions, JsrBounds, MatrixSet, Result};
+use crate::screen::ScreenStats;
+use crate::{
+    gripenberg_with_stats, Error, GripenbergOptions, JsrBounds, MatrixSet, Result,
+};
 
 /// Options for [`refined_bounds`].
 #[derive(Debug, Clone)]
@@ -69,6 +72,21 @@ impl Default for RefineOptions {
 /// # }
 /// ```
 pub fn refined_bounds(set: &MatrixSet, opts: &RefineOptions) -> Result<JsrBounds> {
+    Ok(refined_bounds_with_stats(set, opts)?.0)
+}
+
+/// Like [`refined_bounds`], additionally returning the screening statistics
+/// accumulated over every lift level. `lb_depth` reports the *unlifted*
+/// product length behind the final lower bound (`level · lb_depth` of the
+/// level that last improved it).
+///
+/// # Errors
+///
+/// Same as [`refined_bounds`].
+pub fn refined_bounds_with_stats(
+    set: &MatrixSet,
+    opts: &RefineOptions,
+) -> Result<(JsrBounds, ScreenStats)> {
     if opts.max_power == 0 {
         return Err(Error::InvalidOptions("max_power must be >= 1".into()));
     }
@@ -76,6 +94,7 @@ pub fn refined_bounds(set: &MatrixSet, opts: &RefineOptions) -> Result<JsrBounds
         lower: 0.0,
         upper: f64::INFINITY,
     };
+    let mut stats = ScreenStats::default();
     // Length-ℓ products, built incrementally.
     let mut current: Vec<Matrix> = set.matrices().to_vec();
     for level in 1..=opts.max_power {
@@ -83,9 +102,14 @@ pub fn refined_bounds(set: &MatrixSet, opts: &RefineOptions) -> Result<JsrBounds
             break;
         }
         let lifted = MatrixSet::new(current.clone())?;
-        let b = gripenberg(&lifted, &opts.base)?;
+        let (b, s) = gripenberg_with_stats(&lifted, &opts.base)?;
+        stats.absorb(&s);
         let root = 1.0 / level as f64;
-        best.lower = best.lower.max(b.lower.max(0.0).powf(root));
+        let cand = b.lower.max(0.0).powf(root);
+        if cand > best.lower {
+            best.lower = cand;
+            stats.lb_depth = level * s.lb_depth;
+        }
         best.upper = best.upper.min(b.upper.max(0.0).powf(root));
         if let Some(threshold) = opts.decision_threshold {
             if best.upper < threshold || best.lower >= threshold {
@@ -105,12 +129,13 @@ pub fn refined_bounds(set: &MatrixSet, opts: &RefineOptions) -> Result<JsrBounds
             current = next;
         }
     }
-    Ok(best)
+    Ok((best, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gripenberg;
 
     #[test]
     fn refinement_never_looser_than_level_one() {

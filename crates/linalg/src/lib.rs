@@ -44,6 +44,7 @@ pub mod optimize;
 mod qr;
 mod riccati;
 mod schur;
+pub mod small;
 mod svd;
 
 pub use cholesky::{is_spd, Cholesky};
@@ -52,7 +53,10 @@ pub use expm::{expm, expm_integral};
 pub use lu::Lu;
 pub use lyapunov::{is_schur_stable, solve_discrete_lyapunov, solve_discrete_lyapunov_direct};
 pub use matrix::Matrix;
-pub use norms::{balance, norm_1, norm_2, norm_fro, norm_inf};
+pub use norms::{
+    balance, cheap_spectral_bounds, norm_1, norm_2, norm_2_bracket, norm_fro, norm_inf,
+    spectral_radius_upper, CheapSpectralBounds,
+};
 pub use qr::Qr;
 pub use riccati::{dkalman, dlqr, solve_dare, DareSolution};
 pub use schur::{eigenvalues, hessenberg, spectral_radius, Eigenvalue};

@@ -253,21 +253,7 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams through rhs rows, cache-friendly for
-        // row-major storage.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a_ik = self.data[i * self.cols + k];
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a_ik * r;
-                }
-            }
-        }
+        self.matmul_add_into(rhs, &mut out)?;
         Ok(out)
     }
 
@@ -318,7 +304,16 @@ impl Matrix {
                 rhs: out.shape(),
             });
         }
-        // Same i-k-j order and zero-skip as `matmul`.
+        // Square matrices up to `small::MAX_DIM` take the fixed-size kernel
+        // (bit-identical accumulation order, see `small`).
+        if self.rows == self.cols
+            && rhs.rows == rhs.cols
+            && crate::small::matmul_acc_dispatch(self.rows, &self.data, &rhs.data, &mut out.data)
+        {
+            return Ok(());
+        }
+        // i-k-j loop order: streams through rhs rows, cache-friendly for
+        // row-major storage.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a_ik = self.data[i * self.cols + k];
@@ -375,6 +370,11 @@ impl Matrix {
                 lhs: (self.rows, 1),
                 rhs: (out.len(), 1),
             });
+        }
+        if self.rows == self.cols
+            && crate::small::mul_vec_acc_dispatch(self.rows, &self.data, x, out)
+        {
+            return Ok(());
         }
         for (i, o) in out.iter_mut().enumerate() {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -871,6 +871,48 @@ mod tests {
         assert!(a.matmul_into(&Matrix::zeros(4, 4), &mut out).is_err());
         let mut bad = Matrix::zeros(2, 2);
         assert!(a.matmul_into(&b, &mut bad).is_err());
+    }
+
+    #[test]
+    fn small_kernel_dispatch_matches_generic_bitwise() {
+        // A square product with n <= 8 dispatches to the fixed-size kernel.
+        // The same output columns computed inside a rectangular product take
+        // the generic loop (rhs not square), with an identical per-entry
+        // accumulation sequence — so the two must agree bit for bit.
+        for n in 1..=9usize {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                if (i * n + j) % 4 == 0 {
+                    0.0
+                } else {
+                    ((i * 7 + j * 3) % 11) as f64 / 7.0 - 0.6
+                }
+            });
+            let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 13) % 17) as f64 / 5.0 - 1.4);
+            let square = a.matmul(&b).unwrap();
+            let wide = Matrix::hstack(&[&b, &Matrix::zeros(n, 1)]).unwrap();
+            let padded = a.matmul(&wide).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        square[(i, j)].to_bits(),
+                        padded[(i, j)].to_bits(),
+                        "matmul differs at n={n} ({i},{j})"
+                    );
+                }
+            }
+            // Vector kernel vs the generic product against an n×1 column.
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 0.7).collect();
+            let col = a.matmul(&Matrix::col_vec(&x)).unwrap();
+            let mut out = vec![f64::NAN; n];
+            a.mul_vec_into(&x, &mut out).unwrap();
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(
+                    o.to_bits(),
+                    col.as_slice()[i].to_bits(),
+                    "mul_vec differs at n={n} ({i})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -168,6 +168,110 @@ proptest! {
     }
 }
 
+mod screening_and_kernel_properties {
+    use super::*;
+    use overrun_linalg::{cheap_spectral_bounds, small};
+
+    /// Zero-inflates a buffer: small-magnitude draws become exact zeros, so
+    /// the kernels' zero-skip branch and the screening accumulators see a
+    /// realistic mix of sparsity (roughly a quarter of the entries).
+    fn inflate(v: &[f64], n: usize, mag: f64) -> Vec<f64> {
+        v[..n * n]
+            .iter()
+            .map(|&x| if x.abs() < mag / 4.0 { 0.0 } else { x })
+            .collect()
+    }
+
+    /// Strategy: a dimension `1..=8` (the kernel range) with a zero-inflated
+    /// square matrix of that size.
+    fn sized_sparse(mag: f64) -> impl Strategy<Value = (usize, Vec<f64>)> {
+        let full = small::MAX_DIM * small::MAX_DIM;
+        (1usize..=small::MAX_DIM, prop::collection::vec(-mag..mag, full))
+            .prop_map(move |(n, v)| (n, inflate(&v, n, mag)))
+    }
+
+    /// Two same-size zero-inflated buffers.
+    fn sized_sparse_pair(mag: f64) -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
+        let full = small::MAX_DIM * small::MAX_DIM;
+        (sized_sparse(mag), prop::collection::vec(-mag..mag, full))
+            .prop_map(move |((n, a), v)| {
+                let b = inflate(&v, n, mag);
+                (n, a, b)
+            })
+    }
+
+    /// Embeds an `n × n` matrix as the top-left block of a zero matrix one
+    /// larger than [`small::MAX_DIM`], forcing the generic multiply path.
+    fn pad(n: usize, data: &[f64]) -> Matrix {
+        let big = small::MAX_DIM + 1;
+        let mut m = Matrix::zeros(big, big);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = data[i * n + j];
+            }
+        }
+        m
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cheap_bounds_bracket_exact_evaluations((n, v) in sized_sparse(10.0)) {
+            let m = Matrix::from_vec(n, n, v).expect("sized buffer");
+            let b = cheap_spectral_bounds(&m);
+            let nrm = norm_2(&m);
+            prop_assert!(b.norm_lower <= nrm, "norm_lower {} > norm_2 {}", b.norm_lower, nrm);
+            prop_assert!(nrm <= b.norm_upper, "norm_2 {} > norm_upper {}", nrm, b.norm_upper);
+            let rho = spectral_radius(&m).unwrap();
+            prop_assert!(rho <= b.radius_upper, "rho {} > radius_upper {}", rho, b.radius_upper);
+            prop_assert!(b.radius_upper <= b.norm_upper, "radius bound looser than norm bound");
+        }
+
+        #[test]
+        fn matmul_kernel_matches_generic_bitwise((n, a, b) in sized_sparse_pair(6.0)) {
+            // n ≤ MAX_DIM dispatches to the const-generic kernel …
+            let am = Matrix::from_vec(n, n, a.clone()).expect("sized buffer");
+            let bm = Matrix::from_vec(n, n, b.clone()).expect("sized buffer");
+            let fast = am.matmul(&bm).unwrap();
+            // … while the padded embedding is too large for any kernel and
+            // takes the generic loop; zero padding never contributes terms,
+            // so the top-left block must agree bit for bit.
+            let slow = pad(n, &a).matmul(&pad(n, &b)).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(fast[(i, j)].to_bits(), slow[(i, j)].to_bits(),
+                        "({}, {}) of n = {}", i, j, n);
+                }
+            }
+        }
+
+        #[test]
+        fn mul_vec_kernel_matches_generic_bitwise((n, a, x) in sized_sparse_pair(6.0)) {
+            let am = Matrix::from_vec(n, n, a.clone()).expect("sized buffer");
+            let x = &x[..n];
+            let mut fast = vec![0.0_f64; n];
+            am.mul_vec_into(x, &mut fast).unwrap();
+            let big = small::MAX_DIM + 1;
+            let mut xp = vec![0.0_f64; big];
+            xp[..n].copy_from_slice(x);
+            let mut slow = vec![0.0_f64; big];
+            pad(n, &a).mul_vec_into(&xp, &mut slow).unwrap();
+            for i in 0..n {
+                prop_assert_eq!(fast[i].to_bits(), slow[i].to_bits(), "row {} of n = {}", i, n);
+            }
+        }
+
+        #[test]
+        fn fro_norm_kernel_matches_generic_bitwise((n, a) in sized_sparse(6.0)) {
+            let am = Matrix::from_vec(n, n, a.clone()).expect("sized buffer");
+            // The padded embedding only appends exact zeros to the sum, so
+            // the generic accumulation visits the same values in order.
+            prop_assert_eq!(norm_fro(&am).to_bits(), norm_fro(&pad(n, &a)).to_bits());
+        }
+    }
+}
+
 mod svd_properties {
     use super::*;
     use overrun_linalg::Svd;

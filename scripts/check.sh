@@ -10,6 +10,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> determinism + screening equivalence at OVERRUN_THREADS=4"
+OVERRUN_THREADS=4 cargo test --release -q -p overrun-control \
+  --test par_determinism --test screening_equivalence
+
+echo "==> bench JSON smoke (table1, reduced)"
+BENCH_JSON=bench_results/BENCH_results.json cargo run --release -q \
+  -p overrun-bench --bin table1 -- --sequences 20 --jobs 10 --out bench_results
+test -s bench_results/BENCH_results.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
