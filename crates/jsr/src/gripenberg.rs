@@ -348,6 +348,10 @@ fn expand_node(
     counters: &ScreenCounters,
     scratch: &mut Matrix,
 ) -> Result<Vec<Node>> {
+    // The surviving-children vector is the node's return value; it is the
+    // one deliberate allocation in the frontier loop (amortised by the
+    // pruning that keeps it short).
+    // lint: allow(hotpath)
     let mut children = Vec::new();
     for a in set {
         a.matmul_into(&node.product, scratch)?;

@@ -1,0 +1,64 @@
+//! Sanitizer integration test: poison injected through the JSR pipeline
+//! must be reported **at the op that produced it**, not downstream.
+//!
+//! The injection vector is overflow in the power-lift of
+//! [`overrun_jsr::refined_bounds`]: lifted products are built
+//! *unnormalised* (`a.matmul(p)`), so a set whose entries are finite but
+//! huge (`1e100`) overflows to `Inf` at lift level 4 inside that matmul.
+//! Every other stage is overflow-safe by construction — `MatrixSet::new`
+//! rejects non-finite inputs, the Gripenberg search normalises products
+//! in log space, and `norm_2` prescales by the Frobenius norm — which is
+//! exactly why a poisoned *intermediate* is so easy to miss without the
+//! sanitizer: without `--features sanitize` the `Inf` surfaces one full
+//! stage later, as an `InvalidSet` error from the next `MatrixSet::new`.
+
+#![cfg(feature = "sanitize")]
+
+use overrun_jsr::{refined_bounds, MatrixSet, RefineOptions};
+use overrun_linalg::Matrix;
+
+/// Huge-but-finite singleton set: `A = [1e100]`, so `A^4 = 1e400 = Inf`.
+fn huge_singleton() -> MatrixSet {
+    let a = Matrix::from_rows(&[&[1e100]]).expect("1x1 matrix");
+    MatrixSet::new(vec![a]).expect("finite set is valid")
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+#[test]
+fn poison_reported_at_the_producing_op() {
+    let set = huge_singleton();
+    let opts = RefineOptions {
+        max_power: 4,
+        decision_threshold: None, // run all levels; don't stop at LB >= 1
+        ..RefineOptions::default()
+    };
+    let result = std::panic::catch_unwind(|| refined_bounds(&set, &opts));
+    let err = result.expect_err("the lift to level 4 overflows: sanitize must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("[sanitize]"), "not a sanitizer report: {msg}");
+    // The overflow happens inside the lift's matrix product, and the
+    // report must blame that op as the *producer* (inputs were clean),
+    // not merely observe poison arriving somewhere downstream.
+    assert!(msg.contains("matmul_add_into"), "wrong op blamed: {msg}");
+    assert!(msg.contains("produced"), "must be a producer report: {msg}");
+}
+
+#[test]
+fn clean_early_decision_does_not_trip_the_sanitizer() {
+    // Same poisonous input, but the default decision threshold stops the
+    // refinement at level 1 (LB = 1e100 >= 1 certifies instability), so
+    // the overflowing lift never runs and the sanitizer stays silent.
+    let set = huge_singleton();
+    let opts = RefineOptions {
+        max_power: 4,
+        ..RefineOptions::default()
+    };
+    let bounds = refined_bounds(&set, &opts).expect("level-1 decision is finite");
+    assert!(bounds.lower >= 1.0);
+}

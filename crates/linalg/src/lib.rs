@@ -43,6 +43,8 @@ mod norms;
 pub mod optimize;
 mod qr;
 mod riccati;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 mod schur;
 pub mod small;
 mod svd;

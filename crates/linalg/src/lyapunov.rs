@@ -136,6 +136,10 @@ mod tests {
     }
 
     #[test]
+    // This test drives a deliberate overflow to assert the graceful
+    // NoConvergence error; under `sanitize` that overflow is (correctly)
+    // a poison panic at the producing op, so the test does not apply.
+    #[cfg_attr(feature = "sanitize", ignore = "deliberate overflow panics under sanitize")]
     fn smith_diverges_for_unstable() {
         let a = Matrix::diag(&[1.5, 0.5]);
         assert!(matches!(

@@ -304,12 +304,20 @@ impl Matrix {
                 rhs: out.shape(),
             });
         }
+        #[cfg(feature = "sanitize")]
+        {
+            crate::sanitize::check_input("matmul_add_into", "lhs", &self.data);
+            crate::sanitize::check_input("matmul_add_into", "rhs", &rhs.data);
+            crate::sanitize::check_input("matmul_add_into", "accumulator", &out.data);
+        }
         // Square matrices up to `small::MAX_DIM` take the fixed-size kernel
         // (bit-identical accumulation order, see `small`).
         if self.rows == self.cols
             && rhs.rows == rhs.cols
             && crate::small::matmul_acc_dispatch(self.rows, &self.data, &rhs.data, &mut out.data)
         {
+            #[cfg(feature = "sanitize")]
+            crate::sanitize::check_output("matmul_add_into", &out.data);
             return Ok(());
         }
         // i-k-j loop order: streams through rhs rows, cache-friendly for
@@ -327,6 +335,8 @@ impl Matrix {
                 }
             }
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_output("matmul_add_into", &out.data);
         Ok(())
     }
 
@@ -371,9 +381,17 @@ impl Matrix {
                 rhs: (out.len(), 1),
             });
         }
+        #[cfg(feature = "sanitize")]
+        {
+            crate::sanitize::check_input("mul_vec_acc_into", "lhs", &self.data);
+            crate::sanitize::check_input("mul_vec_acc_into", "x", x);
+            crate::sanitize::check_input("mul_vec_acc_into", "accumulator", out);
+        }
         if self.rows == self.cols
             && crate::small::mul_vec_acc_dispatch(self.rows, &self.data, x, out)
         {
+            #[cfg(feature = "sanitize")]
+            crate::sanitize::check_output("mul_vec_acc_into", out);
             return Ok(());
         }
         for (i, o) in out.iter_mut().enumerate() {
@@ -389,14 +407,23 @@ impl Matrix {
             }
             *o = acc;
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_output("mul_vec_acc_into", out);
         Ok(())
     }
 
     /// Scales every entry by `s` in place (no allocation).
     pub fn scale_in_place(&mut self, s: f64) {
+        #[cfg(feature = "sanitize")]
+        {
+            crate::sanitize::check_scalar("scale_in_place", "scale factor", s);
+            crate::sanitize::check_input("scale_in_place", "self", &self.data);
+        }
         for a in &mut self.data {
             *a *= s;
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_output("scale_in_place", &self.data);
     }
 
     /// Entry-wise sum `self + rhs`.
@@ -430,7 +457,12 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        Ok(Matrix {
+        #[cfg(feature = "sanitize")]
+        {
+            crate::sanitize::check_input(op, "lhs", &self.data);
+            crate::sanitize::check_input(op, "rhs", &rhs.data);
+        }
+        let result = Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self
@@ -439,7 +471,10 @@ impl Matrix {
                 .zip(&rhs.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        })
+        };
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_output(op, &result.data);
+        Ok(result)
     }
 
     /// Scales every entry by `s`.

@@ -206,87 +206,97 @@ mod tests {
     use super::*;
     use crate::spectral_radius;
 
+    // Tests return `Result` and use `?` instead of `unwrap()`: the
+    // panic-freedom ratchet (overrun-lint) counts every panic site in the
+    // crate, test modules included, and this module is burned down to zero.
+    type TestResult = std::result::Result<(), Error>;
+
     #[test]
-    fn scalar_golden_ratio() {
+    fn scalar_golden_ratio() -> TestResult {
         let one = Matrix::identity(1);
-        let sol = solve_dare(&one, &one, &one, &one).unwrap();
+        let sol = solve_dare(&one, &one, &one, &one)?;
         let golden = (1.0 + 5.0_f64.sqrt()) / 2.0;
         assert!((sol.x[(0, 0)] - golden).abs() < 1e-12);
         assert!(sol.residual < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn scalar_closed_form_general() {
+    fn scalar_closed_form_general() -> TestResult {
         // b²x² + x(r − a²r − qb²) − qr = 0 with positive root taken.
         let (a, b, q, r) = (1.4_f64, 0.7, 2.0, 0.5);
-        let am = Matrix::from_rows(&[&[a]]).unwrap();
-        let bm = Matrix::from_rows(&[&[b]]).unwrap();
-        let qm = Matrix::from_rows(&[&[q]]).unwrap();
-        let rm = Matrix::from_rows(&[&[r]]).unwrap();
-        let sol = solve_dare(&am, &bm, &qm, &rm).unwrap();
+        let am = Matrix::from_rows(&[&[a]])?;
+        let bm = Matrix::from_rows(&[&[b]])?;
+        let qm = Matrix::from_rows(&[&[q]])?;
+        let rm = Matrix::from_rows(&[&[r]])?;
+        let sol = solve_dare(&am, &bm, &qm, &rm)?;
         let bb = b * b;
         let coeff = r - a * a * r - q * bb;
         let x_expected = (-coeff + (coeff * coeff + 4.0 * bb * q * r).sqrt()) / (2.0 * bb);
         assert!((sol.x[(0, 0)] - x_expected).abs() < 1e-10 * x_expected);
+        Ok(())
     }
 
     #[test]
-    fn dlqr_stabilizes_double_integrator() {
+    fn dlqr_stabilizes_double_integrator() -> TestResult {
         let h = 0.1;
-        let a = Matrix::from_rows(&[&[1.0, h], &[0.0, 1.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[1.0, h], &[0.0, 1.0]])?;
         let b = Matrix::col_vec(&[h * h / 2.0, h]);
-        let (k, x) = dlqr(&a, &b, &Matrix::identity(2), &Matrix::identity(1)).unwrap();
+        let (k, x) = dlqr(&a, &b, &Matrix::identity(2), &Matrix::identity(1))?;
         let closed = &a - &b * &k;
-        assert!(spectral_radius(&closed).unwrap() < 1.0);
+        assert!(spectral_radius(&closed)? < 1.0);
         assert!(crate::cholesky::is_spd(&x));
+        Ok(())
     }
 
     #[test]
-    fn dlqr_stabilizes_unstable_plant() {
-        let a = Matrix::from_rows(&[&[1.2, 0.3], &[0.0, 1.5]]).unwrap();
+    fn dlqr_stabilizes_unstable_plant() -> TestResult {
+        let a = Matrix::from_rows(&[&[1.2, 0.3], &[0.0, 1.5]])?;
         let b = Matrix::col_vec(&[0.0, 1.0]);
-        let (k, _) = dlqr(&a, &b, &Matrix::identity(2), &(Matrix::identity(1) * 0.1)).unwrap();
+        let (k, _) = dlqr(&a, &b, &Matrix::identity(2), &(Matrix::identity(1) * 0.1))?;
         let closed = &a - &b * &k;
-        assert!(spectral_radius(&closed).unwrap() < 1.0);
+        assert!(spectral_radius(&closed)? < 1.0);
+        Ok(())
     }
 
     #[test]
-    fn dare_residual_small_on_mimo() {
+    fn dare_residual_small_on_mimo() -> TestResult {
         let a = Matrix::from_rows(&[
             &[0.9, 0.2, 0.0],
             &[0.0, 1.1, 0.1],
             &[0.1, 0.0, 0.8],
-        ])
-        .unwrap();
-        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]).unwrap();
+        ])?;
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]])?;
         let q = Matrix::diag(&[1.0, 2.0, 0.5]);
         let r = Matrix::diag(&[1.0, 0.5]);
-        let sol = solve_dare(&a, &b, &q, &r).unwrap();
+        let sol = solve_dare(&a, &b, &q, &r)?;
         assert!(sol.residual < 1e-9, "residual = {}", sol.residual);
+        Ok(())
     }
 
     #[test]
-    fn dare_cost_interpretation() {
+    fn dare_cost_interpretation() -> TestResult {
         // For u = -Kx the achieved cost xᵀX x must equal the Lyapunov
         // accumulation of stage costs along the closed loop.
-        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
         let b = Matrix::col_vec(&[0.005, 0.1]);
         let q = Matrix::identity(2);
         let r = Matrix::identity(1);
-        let (k, x) = dlqr(&a, &b, &q, &r).unwrap();
+        let (k, x) = dlqr(&a, &b, &q, &r)?;
         let acl = &a - &b * &k;
         let stage = &q + &k.transpose() * &r * &k;
-        let x_lyap = crate::solve_discrete_lyapunov(&acl, &stage).unwrap();
+        let x_lyap = crate::solve_discrete_lyapunov(&acl, &stage)?;
         assert!(x.approx_eq(&x_lyap, 1e-8, 1e-8));
+        Ok(())
     }
 
     #[test]
-    fn kalman_gains_consistent() {
-        let a = Matrix::from_rows(&[&[0.95, 0.1], &[0.0, 0.9]]).unwrap();
+    fn kalman_gains_consistent() -> TestResult {
+        let a = Matrix::from_rows(&[&[0.95, 0.1], &[0.0, 0.9]])?;
         let c = Matrix::row_vec(&[1.0, 0.0]);
         let w = Matrix::diag(&[0.01, 0.02]);
         let v = Matrix::identity(1) * 0.1;
-        let (l, m, p) = dkalman(&a, &c, &w, &v).unwrap();
+        let (l, m, p) = dkalman(&a, &c, &w, &v)?;
         // L = A M
         assert!(l.approx_eq(&(&a * &m), 1e-12, 1e-12));
         // P solves the filter Riccati equation: P = A P Aᵀ − L(CPCᵀ+V)Lᵀ + W
@@ -294,7 +304,8 @@ mod tests {
         let res = &a * &p * a.transpose() - &l * &s * l.transpose() + &w - &p;
         assert!(res.max_abs() < 1e-10, "residual {}", res.max_abs());
         // Estimator A − LC must be stable.
-        assert!(spectral_radius(&(&a - &l * &c)).unwrap() < 1.0);
+        assert!(spectral_radius(&(&a - &l * &c))? < 1.0);
+        Ok(())
     }
 
     #[test]
@@ -310,11 +321,15 @@ mod tests {
     }
 
     #[test]
+    // This test drives a deliberate overflow to assert the graceful
+    // NoConvergence error; under `sanitize` that overflow is (correctly)
+    // a poison panic at the producing op, so the test does not apply.
+    #[cfg_attr(feature = "sanitize", ignore = "deliberate overflow panics under sanitize")]
     fn dare_unstabilizable_fails() {
         // Unstable mode not reachable from B: no stabilising solution.
         let a = Matrix::diag(&[2.0, 0.5]);
         let b = Matrix::col_vec(&[0.0, 1.0]);
         let res = solve_dare(&a, &b, &Matrix::identity(2), &Matrix::identity(1));
-        assert!(res.is_err() || res.unwrap().residual > 1e-6);
+        assert!(res.is_err() || res.is_ok_and(|sol| sol.residual > 1e-6));
     }
 }

@@ -396,14 +396,19 @@ fn hqr(mut a: Matrix) -> Result<Vec<Eigenvalue>> {
 mod tests {
     use super::*;
 
-    fn sorted_moduli(a: &Matrix) -> Vec<f64> {
-        let mut m: Vec<f64> = eigenvalues(a).unwrap().iter().map(|e| e.modulus()).collect();
-        m.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        m
+    // Tests return `Result` and use `?` instead of `unwrap()`: the
+    // panic-freedom ratchet (overrun-lint) counts every panic site in the
+    // crate, test modules included, and this module is burned down to zero.
+    type TestResult = std::result::Result<(), Error>;
+
+    fn sorted_moduli(a: &Matrix) -> Result<Vec<f64>> {
+        let mut m: Vec<f64> = eigenvalues(a)?.iter().map(|e| e.modulus()).collect();
+        m.sort_by(f64::total_cmp);
+        Ok(m)
     }
 
-    fn assert_spectrum_contains(a: &Matrix, expected: &[(f64, f64)], tol: f64) {
-        let eigs = eigenvalues(a).unwrap();
+    fn assert_spectrum_contains(a: &Matrix, expected: &[(f64, f64)], tol: f64) -> TestResult {
+        let eigs = eigenvalues(a)?;
         for &(re, im) in expected {
             assert!(
                 eigs.iter()
@@ -411,77 +416,79 @@ mod tests {
                 "missing eigenvalue {re}+{im}i in {eigs:?}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn eig_of_diagonal() {
+    fn eig_of_diagonal() -> TestResult {
         let d = Matrix::diag(&[3.0, -1.0, 0.5]);
-        assert_spectrum_contains(&d, &[(3.0, 0.0), (-1.0, 0.0), (0.5, 0.0)], 1e-12);
-        assert!((spectral_radius(&d).unwrap() - 3.0).abs() < 1e-12);
+        assert_spectrum_contains(&d, &[(3.0, 0.0), (-1.0, 0.0), (0.5, 0.0)], 1e-12)?;
+        assert!((spectral_radius(&d)? - 3.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn eig_of_triangular() {
+    fn eig_of_triangular() -> TestResult {
         let t =
-            Matrix::from_rows(&[&[2.0, 5.0, 7.0], &[0.0, -3.0, 1.0], &[0.0, 0.0, 0.25]]).unwrap();
-        assert_spectrum_contains(&t, &[(2.0, 0.0), (-3.0, 0.0), (0.25, 0.0)], 1e-10);
+            Matrix::from_rows(&[&[2.0, 5.0, 7.0], &[0.0, -3.0, 1.0], &[0.0, 0.0, 0.25]])?;
+        assert_spectrum_contains(&t, &[(2.0, 0.0), (-3.0, 0.0), (0.25, 0.0)], 1e-10)
     }
 
     #[test]
-    fn eig_of_rotation_is_unit_complex_pair() {
+    fn eig_of_rotation_is_unit_complex_pair() -> TestResult {
         let th = 0.7_f64;
-        let r = Matrix::from_rows(&[&[th.cos(), -th.sin()], &[th.sin(), th.cos()]]).unwrap();
-        assert_spectrum_contains(&r, &[(th.cos(), th.sin())], 1e-12);
-        assert!((spectral_radius(&r).unwrap() - 1.0).abs() < 1e-12);
+        let r = Matrix::from_rows(&[&[th.cos(), -th.sin()], &[th.sin(), th.cos()]])?;
+        assert_spectrum_contains(&r, &[(th.cos(), th.sin())], 1e-12)?;
+        assert!((spectral_radius(&r)? - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn eig_of_companion_matrix() {
+    fn eig_of_companion_matrix() -> TestResult {
         // Companion of p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
-        let c = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
-            .unwrap();
-        assert_spectrum_contains(&c, &[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)], 1e-9);
+        let c = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])?;
+        assert_spectrum_contains(&c, &[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)], 1e-9)
     }
 
     #[test]
-    fn eig_complex_from_companion() {
+    fn eig_complex_from_companion() -> TestResult {
         // p(x) = x^2 + 1 → eigenvalues ±i
-        let c = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
-        assert_spectrum_contains(&c, &[(0.0, 1.0)], 1e-12);
+        let c = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]])?;
+        assert_spectrum_contains(&c, &[(0.0, 1.0)], 1e-12)
     }
 
     #[test]
-    fn eig_sum_is_trace_product_is_det() {
+    fn eig_sum_is_trace_product_is_det() -> TestResult {
         let a = Matrix::from_rows(&[
             &[4.0, 1.0, 2.0, 0.5],
             &[-1.0, 3.0, 0.0, 2.0],
             &[0.3, -2.0, 1.5, 1.0],
             &[1.0, 0.0, -1.0, 2.5],
-        ])
-        .unwrap();
-        let eigs = eigenvalues(&a).unwrap();
+        ])?;
+        let eigs = eigenvalues(&a)?;
         let sum_re: f64 = eigs.iter().map(|e| e.re).sum();
         let sum_im: f64 = eigs.iter().map(|e| e.im).sum();
         assert!((sum_re - a.trace()).abs() < 1e-8, "trace mismatch: {sum_re}");
         assert!(sum_im.abs() < 1e-8);
         // product of moduli equals |det|
         let prod: f64 = eigs.iter().map(|e| e.modulus()).product();
-        assert!((prod - a.det().unwrap().abs()).abs() < 1e-6 * prod.max(1.0));
+        assert!((prod - a.det()?.abs()).abs() < 1e-6 * prod.max(1.0));
+        Ok(())
     }
 
     #[test]
-    fn eig_repeated_eigenvalues() {
+    fn eig_repeated_eigenvalues() -> TestResult {
         // Jordan-like block with eigenvalue 2 (defective)
-        let j = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[0.0, 0.0, 2.0]])
-            .unwrap();
-        let eigs = eigenvalues(&j).unwrap();
+        let j = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[0.0, 0.0, 2.0]])?;
+        let eigs = eigenvalues(&j)?;
         for e in &eigs {
             assert!((e.modulus() - 2.0).abs() < 1e-4, "{eigs:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn eig_of_similarity_transform_is_invariant() {
+    fn eig_of_similarity_transform_is_invariant() -> TestResult {
         let d = Matrix::diag(&[1.0, -2.0, 0.5, 3.0]);
         // Fixed well-conditioned transform
         let p = Matrix::from_rows(&[
@@ -489,25 +496,26 @@ mod tests {
             &[0.0, 1.0, 0.3, 0.0],
             &[0.2, 0.0, 1.0, 0.2],
             &[0.0, 0.1, 0.0, 1.0],
-        ])
-        .unwrap();
-        let pinv = p.inverse().unwrap();
+        ])?;
+        let pinv = p.inverse()?;
         let a = &p * &d * &pinv;
-        let mut moduli = sorted_moduli(&a);
+        let mut moduli = sorted_moduli(&a)?;
         let mut expected = vec![0.5, 1.0, 2.0, 3.0];
-        expected.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        expected.sort_by(f64::total_cmp);
         for (m, e) in moduli.drain(..).zip(expected) {
             assert!((m - e).abs() < 1e-8, "modulus {m} vs {e}");
         }
+        Ok(())
     }
 
     #[test]
-    fn eig_zero_and_tiny() {
-        assert_eq!(eigenvalues(&Matrix::zeros(3, 3)).unwrap().len(), 3);
-        assert_eq!(spectral_radius(&Matrix::zeros(3, 3)).unwrap(), 0.0);
-        let one = Matrix::from_rows(&[&[42.0]]).unwrap();
-        assert_eq!(eigenvalues(&one).unwrap()[0].re, 42.0);
-        assert!(eigenvalues(&Matrix::zeros(0, 0)).unwrap().is_empty());
+    fn eig_zero_and_tiny() -> TestResult {
+        assert_eq!(eigenvalues(&Matrix::zeros(3, 3))?.len(), 3);
+        assert_eq!(spectral_radius(&Matrix::zeros(3, 3))?, 0.0);
+        let one = Matrix::from_rows(&[&[42.0]])?;
+        assert_eq!(eigenvalues(&one)?[0].re, 42.0);
+        assert!(eigenvalues(&Matrix::zeros(0, 0))?.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -517,9 +525,9 @@ mod tests {
     }
 
     #[test]
-    fn hessenberg_structure_and_spectrum() {
+    fn hessenberg_structure_and_spectrum() -> TestResult {
         let a = Matrix::from_fn(5, 5, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
-        let h = hessenberg(&a).unwrap();
+        let h = hessenberg(&a)?;
         for i in 0..5usize {
             for j in 0..i.saturating_sub(1) {
                 assert_eq!(h[(i, j)], 0.0, "H not Hessenberg at ({i},{j})");
@@ -528,21 +536,23 @@ mod tests {
         // Similarity ⇒ same trace.
         assert!((h.trace() - a.trace()).abs() < 1e-10);
         // Same eigenvalue moduli.
-        let ma = sorted_moduli(&a);
-        let mh = sorted_moduli(&h);
+        let ma = sorted_moduli(&a)?;
+        let mh = sorted_moduli(&h)?;
         for (x, y) in ma.iter().zip(&mh) {
             assert!((x - y).abs() < 1e-7, "{ma:?} vs {mh:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn spectral_radius_of_stable_discretization() {
+    fn spectral_radius_of_stable_discretization() -> TestResult {
         // e^{A} for Hurwitz A must have spectral radius < 1.
-        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]]).unwrap();
-        let phi = crate::expm(&a).unwrap();
-        let rho = spectral_radius(&phi).unwrap();
+        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, -2.0]])?;
+        let phi = crate::expm(&a)?;
+        let rho = spectral_radius(&phi)?;
         assert!(rho < 1.0);
         assert!((rho - (-1.0_f64).exp()).abs() < 1e-10);
+        Ok(())
     }
 
     #[test]
@@ -553,13 +563,14 @@ mod tests {
     }
 
     #[test]
-    fn eig_large_random_like_matrix_trace_check() {
+    fn eig_large_random_like_matrix_trace_check() -> TestResult {
         let n = 12;
         // deterministic pseudo-random entries in [-1, 1]
         let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17 + 7) % 101) as f64 / 50.0 - 1.0);
-        let eigs = eigenvalues(&a).unwrap();
+        let eigs = eigenvalues(&a)?;
         assert_eq!(eigs.len(), n);
         let sum_re: f64 = eigs.iter().map(|e| e.re).sum();
         assert!((sum_re - a.trace()).abs() < 1e-7);
+        Ok(())
     }
 }

@@ -1,0 +1,140 @@
+//! The panic-freedom ratchet baseline: committed per-crate counts of
+//! panic sites and lint suppressions that may only go *down*.
+//!
+//! The file reuses the `lint.toml` syntax (see [`crate::config`]):
+//!
+//! ```toml
+//! [[baseline]]
+//! crate = "overrun-linalg"
+//! panic_sites = 123
+//! suppressions = 1
+//! ```
+//!
+//! `overrun-lint --deny` fails when any current count exceeds its baseline
+//! (a regression). When a count *drops*, the run reports the available
+//! tightening; `--update-baseline` rewrites the file with the current
+//! counts so the improvement is locked in.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::{parse_tables, Value};
+
+/// Ratcheted counts for one crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// `unwrap()` / `expect(…)` / `panic!` sites.
+    pub panic_sites: u64,
+    /// Inline `// lint: allow(<rule>)` suppressions.
+    pub suppressions: u64,
+}
+
+/// Baseline contents: crate name → counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-crate ratcheted counts.
+    pub crates: BTreeMap<String, Counts>,
+}
+
+impl Baseline {
+    /// Loads a baseline file. A missing file is an empty baseline (every
+    /// count ratchets against zero), which is the right default for
+    /// fixtures and new crates alike.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default())
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut out = Baseline::default();
+        for (name, table) in parse_tables(&text)? {
+            if name != "baseline" {
+                return Err(format!("unknown section `[{name}]` in baseline file"));
+            }
+            let krate = match table.get("crate") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err("[[baseline]] entry missing `crate`".into()),
+            };
+            let int = |key: &str| -> Result<u64, String> {
+                match table.get(key) {
+                    Some(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+                    None => Ok(0),
+                    _ => Err(format!("`{key}` must be a non-negative integer")),
+                }
+            };
+            out.crates.insert(
+                krate,
+                Counts {
+                    panic_sites: int("panic_sites")?,
+                    suppressions: int("suppressions")?,
+                },
+            );
+        }
+        Ok(out)
+    }
+
+    /// Serialises the baseline in the canonical (sorted, commented) form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-freedom ratchet baseline — maintained by `overrun-lint`.\n\
+             # Counts may only decrease; regenerate with `overrun-lint --update-baseline`\n\
+             # after burning panic sites down (never to paper over a regression).\n",
+        );
+        for (name, c) in &self.crates {
+            out.push_str(&format!(
+                "\n[[baseline]]\ncrate = \"{name}\"\npanic_sites = {}\nsuppressions = {}\n",
+                c.panic_sites, c.suppressions
+            ));
+        }
+        out
+    }
+
+    /// Writes the canonical form to `path`.
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::default();
+        b.crates.insert(
+            "demo".into(),
+            Counts {
+                panic_sites: 7,
+                suppressions: 2,
+            },
+        );
+        b.crates.insert("zeta".into(), Counts::default());
+        let dir = std::env::temp_dir().join(format!("overrun-lint-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.toml");
+        b.store(&path).unwrap();
+        let back = Baseline::load(&path).unwrap();
+        assert_eq!(b, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.toml")).unwrap();
+        assert!(b.crates.is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_sections() {
+        let dir = std::env::temp_dir().join(format!("overrun-lint-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "[other]\nx = 1\n").unwrap();
+        assert!(Baseline::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

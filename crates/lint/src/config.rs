@@ -1,0 +1,376 @@
+//! `lint.toml` configuration: a deliberately tiny TOML subset, parsed with
+//! no dependencies (consistent with the workspace's vendored-offline
+//! policy).
+//!
+//! Supported syntax — everything the checked-in configs use and nothing
+//! more:
+//!
+//! * `[section]` and `[[array-of-tables]]` headers,
+//! * `key = "string"`, `key = 123`, `key = true|false`,
+//! * `key = ["a", "b", …]` string arrays (may span multiple lines),
+//! * `#` comments (also trailing) and blank lines.
+//!
+//! Unknown sections or keys are **errors**, so a typo in `lint.toml` fails
+//! loudly instead of silently disabling a rule.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One crate registered for linting.
+#[derive(Debug, Clone, Default)]
+pub struct CrateConfig {
+    /// Crate name as it appears in diagnostics and the baseline file.
+    pub name: String,
+    /// Source root scanned recursively for `*.rs`, relative to the config
+    /// file's directory.
+    pub path: String,
+    /// Determinism rule applies (library crates on the certified path).
+    pub determinism: bool,
+    /// Panic-freedom ratchet applies.
+    pub ratchet: bool,
+}
+
+/// Fully parsed lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory containing the config file; crate paths resolve against
+    /// it.
+    pub root: PathBuf,
+    /// Registered crates, in file order.
+    pub crates: Vec<CrateConfig>,
+    /// Identifier tokens forbidden by the determinism rule (`HashMap`, …).
+    pub det_forbidden_idents: Vec<String>,
+    /// `::`-joined paths forbidden by the determinism rule
+    /// (`Instant::now`, `std::env`, …). Matched as token subsequences.
+    pub det_forbidden_paths: Vec<String>,
+    /// Panic-site tokens counted by the ratchet (`unwrap`, `expect`,
+    /// `panic`).
+    pub ratchet_tokens: Vec<String>,
+    /// Baseline file path, relative to `root`.
+    pub baseline: String,
+    /// `file:line` sites exempt from the unsafe-hygiene rule.
+    pub unsafe_allow: Vec<String>,
+    /// Function names whose bodies may not allocate. Entries are either a
+    /// bare function name (`matmul_into`) or `crate::name`-qualified.
+    pub hotpath_functions: Vec<String>,
+    /// Allocation tokens forbidden inside hot-path functions: either
+    /// `A::b` paths, `name!` macros, or bare method names (matched after a
+    /// `.`).
+    pub hotpath_forbidden: Vec<String>,
+}
+
+/// Parses a config file. See the module docs for the accepted subset.
+pub fn load(path: &Path) -> Result<Config, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let root = path
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    parse(&text, root)
+}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"…"`.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `["…", …]`.
+    StrArray(Vec<String>),
+}
+
+/// One parsed `[section]` / `[[section]]` entry: name plus its key/value map.
+pub type Table = (String, BTreeMap<String, Value>);
+
+/// Low-level parse: section name → (for `[[…]]`) list of key/value tables.
+/// `[section]` parses as a single-element list. Exposed for the baseline
+/// file, which reuses the same syntax.
+pub fn parse_tables(text: &str) -> Result<Vec<Table>, String> {
+    let mut tables: Vec<Table> = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0;
+    while idx < lines.len() {
+        let lineno = idx + 1;
+        let mut joined;
+        let mut line = strip_comment(lines[idx]).trim();
+        // Multi-line arrays: keep appending lines until brackets balance.
+        if line.contains('=') && !brackets_balanced(line) {
+            joined = line.to_string();
+            while idx + 1 < lines.len() && !brackets_balanced(&joined) {
+                idx += 1;
+                joined.push(' ');
+                joined.push_str(strip_comment(lines[idx]).trim());
+            }
+            if !brackets_balanced(&joined) {
+                return Err(format!("line {lineno}: unterminated array"));
+            }
+            line = &joined;
+        }
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| format!("line {lineno}: malformed table header"))?;
+            tables.push((name.trim().to_string(), BTreeMap::new()));
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: malformed section header"))?;
+            tables.push((name.trim().to_string(), BTreeMap::new()));
+        } else {
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let value = parse_value(value.trim())
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            let table = tables
+                .last_mut()
+                .ok_or_else(|| format!("line {lineno}: key before any [section]"))?;
+            table.1.insert(key.trim().to_string(), value);
+        }
+    }
+    Ok(tables)
+}
+
+/// `true` when every `[` outside a string has its matching `]` — the
+/// multi-line-array join criterion.
+fn brackets_balanced(line: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => escaped = false,
+        }
+    }
+    depth == 0
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("arrays must close on the same line")?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (s, after) = parse_string(rest)?;
+            items.push(s);
+            rest = after.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err("expected `,` between array items".into());
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if v.starts_with('"') {
+        let (s, rest) = parse_string(v)?;
+        if !rest.trim().is_empty() {
+            return Err("trailing characters after string".into());
+        }
+        return Ok(Value::Str(s));
+    }
+    v.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{v}`"))
+}
+
+/// Parses one leading `"…"` (with `\"` / `\\` escapes); returns the string
+/// and the remaining input.
+fn parse_string(input: &str) -> Result<(String, &str), String> {
+    let body = input
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected string, found `{input}`"))?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => {
+                let (_, esc) = chars.next().ok_or("dangling escape")?;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+            }
+            '"' => return Ok((out, &body[i + c.len_utf8()..])),
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+macro_rules! take {
+    ($table:expr, $key:literal, $variant:path) => {
+        match $table.remove($key) {
+            Some($variant(v)) => Some(v),
+            Some(other) => return Err(format!("`{}`: wrong type {:?}", $key, other)),
+            None => None,
+        }
+    };
+}
+
+fn parse(text: &str, root: PathBuf) -> Result<Config, String> {
+    let mut cfg = Config {
+        root,
+        baseline: "lint-baseline.toml".into(),
+        ..Config::default()
+    };
+    for (name, mut table) in parse_tables(text)? {
+        match name.as_str() {
+            "crate" => {
+                let c = CrateConfig {
+                    name: take!(table, "name", Value::Str)
+                        .ok_or("[[crate]] missing `name`")?,
+                    path: take!(table, "path", Value::Str)
+                        .ok_or("[[crate]] missing `path`")?,
+                    determinism: take!(table, "determinism", Value::Bool).unwrap_or(false),
+                    ratchet: take!(table, "ratchet", Value::Bool).unwrap_or(false),
+                };
+                cfg.crates.push(c);
+            }
+            "determinism" => {
+                if let Some(v) = take!(table, "forbidden_idents", Value::StrArray) {
+                    cfg.det_forbidden_idents = v;
+                }
+                if let Some(v) = take!(table, "forbidden_paths", Value::StrArray) {
+                    cfg.det_forbidden_paths = v;
+                }
+            }
+            "panic_freedom" => {
+                if let Some(v) = take!(table, "tokens", Value::StrArray) {
+                    cfg.ratchet_tokens = v;
+                }
+                if let Some(v) = take!(table, "baseline", Value::Str) {
+                    cfg.baseline = v;
+                }
+            }
+            "unsafe_hygiene" => {
+                if let Some(v) = take!(table, "allow", Value::StrArray) {
+                    cfg.unsafe_allow = v;
+                }
+            }
+            "hotpath" => {
+                if let Some(v) = take!(table, "functions", Value::StrArray) {
+                    cfg.hotpath_functions = v;
+                }
+                if let Some(v) = take!(table, "forbidden", Value::StrArray) {
+                    cfg.hotpath_forbidden = v;
+                }
+            }
+            other => return Err(format!("unknown section `[{other}]`")),
+        }
+        if let Some(stray) = table.keys().next() {
+            return Err(format!("unknown key `{stray}` in `[{name}]`"));
+        }
+    }
+    if cfg.ratchet_tokens.is_empty() {
+        cfg.ratchet_tokens = vec!["unwrap".into(), "expect".into(), "panic".into()];
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a comment
+[determinism]
+forbidden_idents = ["HashMap", "HashSet"] # trailing comment
+forbidden_paths = ["Instant::now", "std::env"]
+
+[panic_freedom]
+baseline = "base.toml"
+
+[unsafe_hygiene]
+allow = []
+
+[hotpath]
+functions = ["matmul_into"]
+forbidden = ["Vec::new", "vec!", "clone"]
+
+[[crate]]
+name = "demo"
+path = "src"
+determinism = true
+ratchet = true
+"#;
+
+    #[test]
+    fn parses_full_sample() {
+        let cfg = parse(SAMPLE, PathBuf::from(".")).unwrap();
+        assert_eq!(cfg.det_forbidden_idents, vec!["HashMap", "HashSet"]);
+        assert_eq!(cfg.baseline, "base.toml");
+        assert_eq!(cfg.crates.len(), 1);
+        assert_eq!(cfg.crates[0].name, "demo");
+        assert!(cfg.crates[0].determinism);
+        assert_eq!(cfg.hotpath_forbidden.len(), 3);
+        assert_eq!(cfg.ratchet_tokens, vec!["unwrap", "expect", "panic"]);
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        assert!(parse("[nope]\n", PathBuf::from(".")).is_err());
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        assert!(parse("[hotpath]\nbogus = 1\n", PathBuf::from(".")).is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = parse(
+            "[panic_freedom]\nbaseline = \"a#b.toml\"\n",
+            PathBuf::from("."),
+        )
+        .unwrap();
+        assert_eq!(cfg.baseline, "a#b.toml");
+    }
+
+    #[test]
+    fn key_before_section_rejected() {
+        assert!(parse_tables("x = 1\n").is_err());
+    }
+
+    #[test]
+    fn integer_values_parse() {
+        let t = parse_tables("[a]\nn = 42\n").unwrap();
+        assert_eq!(t[0].1["n"], Value::Int(42));
+    }
+}

@@ -1,0 +1,352 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The linter's rules only need a *token stream with line numbers* that is
+//! reliably blind to the insides of comments, string literals, raw strings,
+//! byte strings and char literals — precisely the places where a naive
+//! `grep` for `unwrap(` or `HashMap` produces false positives. Full parsing
+//! (`syn`) is deliberately out of scope: the workspace builds offline with
+//! vendored std-only stand-ins, and every rule below is expressible over
+//! tokens plus brace depth.
+//!
+//! Comments are preserved as [`Tok::Comment`] tokens (the unsafe-hygiene
+//! rule looks for `// SAFETY:` and the suppression scanner for
+//! `// lint: allow(<rule>)`), everything else becomes [`Tok::Ident`],
+//! [`Tok::Lifetime`], or single-character [`Tok::Punct`] tokens. Literals
+//! are dropped: no rule needs their contents, only the guarantee that they
+//! never leak tokens.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: usize,
+    /// Token payload.
+    pub tok: Tok,
+}
+
+/// Token kinds the rule engine consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// A lifetime (`'a`) — kept distinct so `'a` never looks like a char
+    /// literal and never contributes an `Ident`.
+    Lifetime(String),
+    /// Any single punctuation character (`{`, `}`, `!`, `:`, `.`, …).
+    Punct(char),
+    /// A comment, with its full text (including the `//` / `/*` markers).
+    Comment(String),
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated literals
+/// simply consume to end-of-file, which is what the compiler would reject
+/// anyway — the linter runs on code that builds.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: usize, tok: Tok) {
+        self.out.push(Token { line, tok });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_literal();
+                }
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphanumeric() || c == '_' => self.ident_or_number(line),
+                _ => {
+                    self.bump();
+                    self.push(line, Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, Tok::Comment(text));
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(line, Tok::Comment(text));
+    }
+
+    /// Consumes a `"…"` literal body (opening quote already consumed).
+    fn string_literal(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, including \" and \\
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`. Returns `true`
+    /// if a literal was consumed; `false` means the `r`/`b` starts a plain
+    /// identifier and the caller should lex it as such.
+    fn raw_or_byte_literal(&mut self, _line: usize) -> bool {
+        let c0 = self.peek(0);
+        let (mut ahead, mut raw) = (1usize, c0 == Some('r'));
+        if c0 == Some('b') {
+            if self.peek(1) == Some('r') {
+                ahead = 2;
+                raw = true;
+            } else if self.peek(1) == Some('\'') {
+                // byte char literal b'x'
+                self.bump(); // b
+                self.bump(); // '
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                }
+                self.bump(); // the byte
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                return true;
+            }
+        }
+        // Count leading hashes of a raw string.
+        let mut hashes = 0usize;
+        while raw && self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            // Not a (raw) string start: `r` / `b` identifier, or raw
+            // identifier `r#foo` — lex as identifier.
+            return false;
+        }
+        if !raw && hashes == 0 && c0 == Some('r') {
+            return false; // unreachable: raw implied by c0 == 'r'
+        }
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        if raw {
+            // Scan for `"` followed by `hashes` hashes; no escapes in raw.
+            'scan: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            self.string_literal();
+        }
+        true
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` (char literal).
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // the opening quote
+        let c1 = self.peek(0);
+        let c2 = self.peek(1);
+        let is_lifetime = matches!(c1, Some(c) if c.is_alphabetic() || c == '_')
+            && c2 != Some('\'');
+        if is_lifetime {
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(line, Tok::Lifetime(name));
+        } else {
+            // Char literal: consume (possibly escaped) char then closing '.
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                // \u{...} escapes contain braces; consume until the quote.
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        return;
+                    }
+                }
+                return;
+            }
+            self.bump();
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+        }
+    }
+
+    fn ident_or_number(&mut self, line: usize) {
+        let mut word = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Numbers produce no rule-relevant tokens; drop them so `1e9` never
+        // looks like an identifier. Leading digit ⇒ numeric literal.
+        if !word.starts_with(|c: char| c.is_ascii_digit()) {
+            self.push(line, Tok::Ident(word));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_leak_nothing() {
+        let src = r##"
+            // unwrap() in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"raw "quoted" HashMap"#;
+            let b = b"bytes with unwrap()";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|s| s == "unwrap" || s == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let n = '\\n'; x }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        // The char literals must not have eaten the closing brace.
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct('}')));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src);
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let ids = idents(r#"let s = "a \" unwrap() \" b"; after();"#);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.iter().any(|s| s == "unwrap"));
+    }
+
+    #[test]
+    fn comments_preserved_with_text() {
+        let toks = lex("// SAFETY: fine\nunsafe {}");
+        assert!(matches!(
+            &toks[0].tok,
+            Tok::Comment(c) if c.contains("SAFETY:")
+        ));
+        assert_eq!(toks[1].tok, Tok::Ident("unsafe".into()));
+    }
+
+    #[test]
+    fn numbers_dropped_exponents_too() {
+        let ids = idents("let x = 1e9 + 0x_ff + 2.5f64; y");
+        // `f64` suffix glued to the number is part of the numeric word and
+        // dropped with it; standalone `y` survives.
+        assert_eq!(ids, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_identifier() {
+        // r#type is a raw identifier, not a raw string.
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"type".to_string()));
+    }
+}

@@ -1,0 +1,253 @@
+//! `overrun-lint` — a source-level static analyzer enforcing the
+//! workspace's determinism and panic-freedom invariants.
+//!
+//! The repo's core guarantee — bitwise-identical `[LB, UB]` JSR
+//! certificates at any thread count — rests on conventions that no
+//! compiler checks: no unordered-iteration containers or wall-clock reads
+//! in the certified crates, no allocation in the de-allocated hot paths,
+//! a panic-site count that only goes down. This crate turns those
+//! conventions into machine-checked rules, built on a minimal hand-rolled
+//! lexer ([`lexer`]) instead of `syn` so the workspace keeps building
+//! offline with zero external dependencies.
+//!
+//! Rules (configured by `lint.toml`, see [`config`]):
+//!
+//! * **determinism** — forbidden identifiers (`HashMap`, `HashSet`,
+//!   `SystemTime`, …) and paths (`Instant::now`, `std::env`, …) in the
+//!   crates marked `determinism = true`;
+//! * **panic-freedom** — `unwrap()` / `expect(…)` / `panic!` sites per
+//!   ratcheted crate, compared against the committed baseline
+//!   ([`baseline`]) which may only decrease;
+//! * **unsafe-hygiene** — every `unsafe` token requires a `// SAFETY:`
+//!   comment on the same line or in the three lines above it;
+//! * **hotpath** — functions registered in `lint.toml` may not contain
+//!   allocation tokens (`Vec::new`, `vec!`, `to_vec`, `collect`, `clone`,
+//!   `Box::new`).
+//!
+//! Inline suppressions: `// lint: allow(<rule>)` on the offending line or
+//! the line above silences one rule there; suppressions are themselves
+//! counted and ratcheted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+mod rules;
+
+pub use baseline::{Baseline, Counts};
+pub use config::Config;
+
+/// Rule identifiers, as they appear in diagnostics and suppressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Forbidden nondeterminism sources.
+    Determinism,
+    /// Panic-site ratchet regression.
+    PanicFreedom,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeHygiene,
+    /// Allocation inside a registered hot-path function.
+    Hotpath,
+}
+
+impl Rule {
+    /// The kebab-case name used in output and `allow(…)` suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::Hotpath => "hotpath",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, printable as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// File, relative to the config root.
+    pub file: PathBuf,
+    /// 1-based line (0 for crate-level findings such as ratchet
+    /// regressions).
+    pub line: usize,
+    /// The offending token or count, verbatim.
+    pub token: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} ({})",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message,
+            self.token
+        )
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that must be fixed (or suppressed) for `--deny` to pass.
+    pub violations: Vec<Diagnostic>,
+    /// Findings silenced by `// lint: allow(…)` — reported, counted,
+    /// ratcheted, but not fatal.
+    pub suppressed: Vec<Diagnostic>,
+    /// Current per-crate ratchet counts.
+    pub counts: BTreeMap<String, Counts>,
+    /// Baseline the counts were compared against.
+    pub baseline: Baseline,
+    /// Crates whose counts dropped below baseline: available tightenings.
+    pub improvements: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when `--deny` should exit 0: no violations (ratchet
+    /// regressions are violations too — see [`rules::ratchet_check`]).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the machine-readable JSON form (hand-rolled: the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn diag(d: &Diagnostic) -> String {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"token\":\"{}\",\"message\":\"{}\"}}",
+                d.rule,
+                esc(&d.file.display().to_string()),
+                d.line,
+                esc(&d.token),
+                esc(&d.message)
+            )
+        }
+        let violations: Vec<String> = self.violations.iter().map(diag).collect();
+        let suppressed: Vec<String> = self.suppressed.iter().map(diag).collect();
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(name, c)| {
+                let base = self.baseline.crates.get(name).copied().unwrap_or_default();
+                format!(
+                    "\"{}\":{{\"panic_sites\":{},\"suppressions\":{},\"baseline_panic_sites\":{},\"baseline_suppressions\":{}}}",
+                    esc(name), c.panic_sites, c.suppressions, base.panic_sites, base.suppressions
+                )
+            })
+            .collect();
+        format!(
+            "{{\"clean\":{},\"files_scanned\":{},\"violations\":[{}],\"suppressed\":[{}],\"counts\":{{{}}}}}",
+            self.is_clean(),
+            self.files_scanned,
+            violations.join(","),
+            suppressed.join(","),
+            counts.join(",")
+        )
+    }
+}
+
+/// Runs every configured rule over every registered crate.
+///
+/// # Errors
+///
+/// I/O failures (unreadable source roots) and malformed baseline files are
+/// reported as `Err`; rule findings are data, not errors.
+pub fn run(cfg: &Config) -> Result<Report, String> {
+    let baseline = Baseline::load(&cfg.root.join(&cfg.baseline))?;
+    let mut report = Report::default();
+    for krate in &cfg.crates {
+        let root = cfg.root.join(&krate.path);
+        let files = collect_rs_files(&root)
+            .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        if files.is_empty() {
+            return Err(format!(
+                "crate `{}`: no .rs files under {}",
+                krate.name,
+                root.display()
+            ));
+        }
+        let mut counts = Counts::default();
+        let mut hotpath_seen: BTreeMap<String, usize> = BTreeMap::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(&cfg.root)
+                .unwrap_or(file)
+                .to_path_buf();
+            let tokens = lexer::lex(&text);
+            let ctx = rules::FileContext::new(cfg, krate, &rel, &tokens);
+            counts.suppressions += ctx.suppression_count();
+            rules::check_file(&ctx, &mut report, &mut counts, &mut hotpath_seen);
+            report.files_scanned += 1;
+        }
+        rules::ratchet_check(cfg, krate, &counts, &baseline, &mut report);
+        rules::hotpath_coverage_check(cfg, krate, &hotpath_seen, &mut report);
+        report.counts.insert(krate.name.clone(), counts);
+    }
+    report.baseline = baseline;
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `*.rs` files under `root`, sorted for
+/// deterministic diagnostics (the linter holds itself to the workspace's
+/// own standard).
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<std::io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,126 @@
+//! `overrun-lint` CLI.
+//!
+//! ```text
+//! overrun-lint [--config <lint.toml>] [--deny] [--json] [--update-baseline]
+//! ```
+//!
+//! * default: print violations + ratchet summary, exit 0 (warn mode);
+//! * `--deny`: exit 1 on any violation or ratchet regression (CI gate);
+//! * `--json`: machine-readable report on stdout;
+//! * `--update-baseline`: rewrite the baseline file with the current
+//!   counts (only do this after burning sites *down* — review the diff);
+//! * `--config`: path to `lint.toml` (default: `./lint.toml`, so running
+//!   from the workspace root just works).
+
+// The CLI's one job is printing the report; the workspace-wide
+// print_stdout deny is for library crates.
+#![allow(clippy::print_stdout)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use overrun_lint::{baseline::Baseline, config, run};
+
+struct Args {
+    config: PathBuf,
+    deny: bool,
+    json: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: PathBuf::from("lint.toml"),
+        deny: false,
+        json: false,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                args.config = PathBuf::from(
+                    it.next().ok_or("--config requires a path argument")?,
+                );
+            }
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: overrun-lint [--config <lint.toml>] [--deny] [--json] [--update-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("overrun-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match config::load(&args.config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("overrun-lint: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("overrun-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let mut baseline = Baseline::default();
+        for (name, counts) in &report.counts {
+            let ratcheted = cfg.crates.iter().any(|c| &c.name == name && c.ratchet);
+            if ratcheted {
+                baseline.crates.insert(name.clone(), *counts);
+            }
+        }
+        let path = cfg.root.join(&cfg.baseline);
+        if let Err(e) = baseline.store(&path) {
+            eprintln!("overrun-lint: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("overrun-lint: baseline rewritten at {}", path.display());
+    }
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.violations {
+            eprintln!("{d}");
+        }
+        for d in &report.suppressed {
+            eprintln!("suppressed: {d}");
+        }
+        for note in &report.improvements {
+            eprintln!("note: {note}");
+        }
+        eprintln!(
+            "overrun-lint: {} files, {} violation(s), {} suppressed",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed.len()
+        );
+    }
+
+    if args.deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

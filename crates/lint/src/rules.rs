@@ -1,0 +1,620 @@
+//! The four lint rules, implemented over the [`crate::lexer`] token
+//! stream.
+//!
+//! Everything here is position-based pattern matching: forbidden
+//! identifiers and `::`-joined paths (determinism), counted panic tokens
+//! (panic-freedom ratchet), `unsafe` tokens missing a nearby `// SAFETY:`
+//! comment (unsafe-hygiene), and allocation tokens inside brace-matched
+//! bodies of registered functions (hotpath).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::baseline::{Baseline, Counts};
+use crate::config::{Config, CrateConfig};
+use crate::lexer::{Tok, Token};
+use crate::{Diagnostic, Report, Rule};
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// Per-file state shared by the rules: the token stream plus the
+/// suppression map extracted from `// lint: allow(<rule>)` comments.
+pub(crate) struct FileContext<'a> {
+    pub(crate) cfg: &'a Config,
+    pub(crate) krate: &'a CrateConfig,
+    pub(crate) file: &'a Path,
+    pub(crate) tokens: &'a [Token],
+    /// line → rules suppressed *on* that line (an `allow` comment covers
+    /// its own line and the one below).
+    suppressions: BTreeMap<usize, BTreeSet<String>>,
+    /// Total `allow(…)` entries in the file — ratcheted like panic sites.
+    allow_entries: u64,
+}
+
+impl<'a> FileContext<'a> {
+    pub(crate) fn new(
+        cfg: &'a Config,
+        krate: &'a CrateConfig,
+        file: &'a Path,
+        tokens: &'a [Token],
+    ) -> Self {
+        let mut suppressions: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        let mut allow_entries = 0u64;
+        for t in tokens {
+            let Tok::Comment(text) = &t.tok else { continue };
+            for rule in parse_allow(text) {
+                allow_entries += 1;
+                suppressions.entry(t.line).or_default().insert(rule.clone());
+                suppressions.entry(t.line + 1).or_default().insert(rule);
+            }
+        }
+        FileContext {
+            cfg,
+            krate,
+            file,
+            tokens,
+            suppressions,
+            allow_entries,
+        }
+    }
+
+    pub(crate) fn suppression_count(&self) -> u64 {
+        self.allow_entries
+    }
+
+    fn is_suppressed(&self, rule: Rule, line: usize) -> bool {
+        self.suppressions
+            .get(&line)
+            .is_some_and(|set| set.contains(rule.name()))
+    }
+
+    fn emit(&self, report: &mut Report, rule: Rule, line: usize, token: &str, message: String) {
+        let diag = Diagnostic {
+            rule,
+            file: self.file.to_path_buf(),
+            line,
+            token: token.to_string(),
+            message,
+        };
+        if self.is_suppressed(rule, line) {
+            report.suppressed.push(diag);
+        } else {
+            report.violations.push(diag);
+        }
+    }
+}
+
+/// Extracts rule names from `// lint: allow(rule1, rule2)` comments. The
+/// directive must be the comment's *content* — `lint:` right after the
+/// comment marker — so prose that merely mentions the syntax (docs, this
+/// sentence) never registers. Unknown rule names are kept verbatim: they
+/// suppress nothing but still count, so a stale suppression stays visible.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let body = comment
+        .trim_start_matches(['/', '*', '!'])
+        .trim_start();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return Vec::new();
+    };
+    let Some(open) = rest.trim_start().strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = open.find(')') else {
+        return Vec::new();
+    };
+    open[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Runs the per-file rules, updating `counts` (panic sites) and
+/// `hotpath_seen` (function-name coverage for [`hotpath_coverage_check`]).
+pub(crate) fn check_file(
+    ctx: &FileContext<'_>,
+    report: &mut Report,
+    counts: &mut Counts,
+    hotpath_seen: &mut BTreeMap<String, usize>,
+) {
+    if ctx.krate.determinism {
+        determinism(ctx, report);
+    }
+    if ctx.krate.ratchet {
+        counts.panic_sites += count_panic_sites(ctx);
+    }
+    unsafe_hygiene(ctx, report);
+    hotpath(ctx, report, hotpath_seen);
+}
+
+/// Rule 1: forbidden identifiers and paths in determinism-critical crates.
+fn determinism(ctx: &FileContext<'_>, report: &mut Report) {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(word) = &t.tok else { continue };
+        if ctx.cfg.det_forbidden_idents.iter().any(|f| f == word) {
+            ctx.emit(
+                report,
+                Rule::Determinism,
+                t.line,
+                word,
+                format!("`{word}` is forbidden in determinism-critical crates (unordered iteration / wall-clock / env access breaks bitwise-reproducible certificates)"),
+            );
+            continue;
+        }
+        for path in &ctx.cfg.det_forbidden_paths {
+            if path_matches_at(toks, i, path) {
+                ctx.emit(
+                    report,
+                    Rule::Determinism,
+                    t.line,
+                    path,
+                    format!("`{path}` is forbidden in determinism-critical crates"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Does the `::`-joined `path` start at token index `i`?
+fn path_matches_at(toks: &[Token], i: usize, path: &str) -> bool {
+    let mut idx = i;
+    for (seg_no, seg) in path.split("::").enumerate() {
+        if seg_no > 0 {
+            for _ in 0..2 {
+                if !matches!(toks.get(idx), Some(t) if t.tok == Tok::Punct(':')) {
+                    return false;
+                }
+                idx += 1;
+            }
+        }
+        if !matches!(&toks.get(idx), Some(t) if t.tok == Tok::Ident(seg.to_string())) {
+            return false;
+        }
+        idx += 1;
+    }
+    true
+}
+
+/// Rule 2 (counting half): `unwrap(` / `expect(` / `panic!` sites. The
+/// comparison against the baseline happens in [`ratchet_check`].
+fn count_panic_sites(ctx: &FileContext<'_>) -> u64 {
+    let toks = ctx.tokens;
+    let mut n = 0u64;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(word) = &t.tok else { continue };
+        if !ctx.cfg.ratchet_tokens.iter().any(|r| r == word) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| &t.tok);
+        let is_site = match word.as_str() {
+            // `.unwrap()` / `.expect(…)` — require the call parenthesis so
+            // a local named `unwrap` doesn't count.
+            "unwrap" | "expect" => next == Some(&Tok::Punct('(')),
+            // `panic!(…)` — require the bang so `std::panic::…` paths and
+            // `#[should_panic]` don't count.
+            "panic" => next == Some(&Tok::Punct('!')),
+            // Custom ratchet tokens from lint.toml: call or macro form.
+            _ => matches!(next, Some(&Tok::Punct('(')) | Some(&Tok::Punct('!'))),
+        };
+        if is_site {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Rule 2 (ratchet half): compare a crate's counts against the committed
+/// baseline. Regressions are violations; improvements are recorded so the
+/// runner can suggest `--update-baseline`.
+pub(crate) fn ratchet_check(
+    _cfg: &Config,
+    krate: &CrateConfig,
+    counts: &Counts,
+    baseline: &Baseline,
+    report: &mut Report,
+) {
+    if !krate.ratchet {
+        return;
+    }
+    let base = baseline.crates.get(&krate.name).copied().unwrap_or_default();
+    let crate_file = Path::new(&krate.path);
+    if counts.panic_sites > base.panic_sites {
+        report.violations.push(Diagnostic {
+            rule: Rule::PanicFreedom,
+            file: crate_file.to_path_buf(),
+            line: 0,
+            token: format!("{} > {}", counts.panic_sites, base.panic_sites),
+            message: format!(
+                "crate `{}` has {} panic sites, baseline allows {} — the ratchet only goes down (convert to typed errors, or run --update-baseline only after a deliberate review)",
+                krate.name, counts.panic_sites, base.panic_sites
+            ),
+        });
+    }
+    if counts.suppressions > base.suppressions {
+        report.violations.push(Diagnostic {
+            rule: Rule::PanicFreedom,
+            file: crate_file.to_path_buf(),
+            line: 0,
+            token: format!("{} > {}", counts.suppressions, base.suppressions),
+            message: format!(
+                "crate `{}` has {} lint suppressions, baseline allows {} — suppressions are ratcheted too",
+                krate.name, counts.suppressions, base.suppressions
+            ),
+        });
+    }
+    if counts.panic_sites < base.panic_sites || counts.suppressions < base.suppressions {
+        report.improvements.push(format!(
+            "crate `{}` improved: {} panic sites (baseline {}), {} suppressions (baseline {}) — run --update-baseline to lock it in",
+            krate.name, counts.panic_sites, base.panic_sites, counts.suppressions, base.suppressions
+        ));
+    }
+}
+
+/// Rule 3: every `unsafe` token needs a `// SAFETY:` comment on the same
+/// line or within [`SAFETY_WINDOW`] lines above, unless the `file:line`
+/// site is allowlisted in `lint.toml`.
+fn unsafe_hygiene(ctx: &FileContext<'_>, report: &mut Report) {
+    let comment_lines: Vec<usize> = ctx
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Comment(c) if c.contains("SAFETY:") => Some(t.line),
+            _ => None,
+        })
+        .collect();
+    for t in ctx.tokens {
+        if t.tok != Tok::Ident("unsafe".into()) {
+            continue;
+        }
+        let site = format!("{}:{}", ctx.file.display(), t.line);
+        if ctx.cfg.unsafe_allow.iter().any(|a| a == &site) {
+            continue;
+        }
+        let documented = comment_lines
+            .iter()
+            .any(|&cl| cl <= t.line && t.line - cl <= SAFETY_WINDOW);
+        if !documented {
+            ctx.emit(
+                report,
+                Rule::UnsafeHygiene,
+                t.line,
+                "unsafe",
+                "`unsafe` without a `// SAFETY:` comment on the same line or directly above".into(),
+            );
+        }
+    }
+}
+
+/// Rule 4: registered hot-path functions may not allocate. Function bodies
+/// are located by `fn <name>` followed by brace matching; forbidden
+/// entries match as `A::b` paths, `name!` macros, or `.method` calls.
+fn hotpath(
+    ctx: &FileContext<'_>,
+    report: &mut Report,
+    hotpath_seen: &mut BTreeMap<String, usize>,
+) {
+    let registered: Vec<&str> = ctx
+        .cfg
+        .hotpath_functions
+        .iter()
+        .filter_map(|entry| match entry.split_once("::") {
+            Some((krate, func)) if krate == ctx.krate.name => Some(func),
+            Some(_) => None,
+            None => Some(entry.as_str()),
+        })
+        .collect();
+    if registered.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_fn = toks[i].tok == Tok::Ident("fn".into());
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { break };
+        let Tok::Ident(name) = &name_tok.tok else {
+            i += 1;
+            continue;
+        };
+        if !registered.iter().any(|r| r == name) {
+            i += 1;
+            continue;
+        }
+        // Track coverage under the function's *qualified* name so the
+        // coverage check can report unmatched registry entries.
+        for entry in &ctx.cfg.hotpath_functions {
+            let matches = match entry.split_once("::") {
+                Some((krate, func)) => krate == ctx.krate.name && func == name,
+                None => entry == name,
+            };
+            if matches {
+                *hotpath_seen.entry(entry.clone()).or_insert(0) += 1;
+            }
+        }
+        // Find the opening brace of the body, then brace-match to its end.
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].tok != Tok::Punct('{') {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        let body_start = j;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body_end = j;
+        for k in body_start..body_end {
+            for forbidden in &ctx.cfg.hotpath_forbidden {
+                let hit = if forbidden.contains("::") {
+                    path_matches_at(toks, k, forbidden)
+                } else if let Some(mac) = forbidden.strip_suffix('!') {
+                    toks[k].tok == Tok::Ident(mac.into())
+                        && matches!(toks.get(k + 1), Some(t) if t.tok == Tok::Punct('!'))
+                } else {
+                    toks[k].tok == Tok::Punct('.')
+                        && matches!(&toks.get(k + 1), Some(t) if t.tok == Tok::Ident(forbidden.clone()))
+                };
+                if hit {
+                    let line = toks[k].line;
+                    ctx.emit(
+                        report,
+                        Rule::Hotpath,
+                        line,
+                        forbidden,
+                        format!(
+                            "`{forbidden}` allocates inside registered hot-path function `{name}` — hot paths must reuse caller-provided buffers"
+                        ),
+                    );
+                }
+            }
+        }
+        i = body_end + 1;
+    }
+}
+
+/// Config-drift check: every `crate::fn`-qualified hot-path entry for this
+/// crate must have matched at least one `fn` definition; a stale registry
+/// entry is a violation (the protection it claims no longer exists).
+pub(crate) fn hotpath_coverage_check(
+    cfg: &Config,
+    krate: &CrateConfig,
+    hotpath_seen: &BTreeMap<String, usize>,
+    report: &mut Report,
+) {
+    for entry in &cfg.hotpath_functions {
+        let Some((entry_crate, func)) = entry.split_once("::") else {
+            continue; // bare names may legitimately match nowhere in a given crate
+        };
+        if entry_crate != krate.name {
+            continue;
+        }
+        let seen = hotpath_seen.get(entry.as_str()).copied().unwrap_or(0);
+        if seen == 0 {
+            report.violations.push(Diagnostic {
+                rule: Rule::Hotpath,
+                file: Path::new(&krate.path).to_path_buf(),
+                line: 0,
+                token: entry.clone(),
+                message: format!(
+                    "hot-path registry entry `{entry}` matched no `fn {func}` in crate `{}` — remove the stale entry or fix the name",
+                    krate.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_cfg() -> Config {
+        Config {
+            root: std::path::PathBuf::from("."),
+            crates: Vec::new(),
+            det_forbidden_idents: vec!["HashMap".into(), "SystemTime".into()],
+            det_forbidden_paths: vec!["Instant::now".into(), "std::env".into()],
+            ratchet_tokens: vec!["unwrap".into(), "expect".into(), "panic".into()],
+            baseline: "lint-baseline.toml".into(),
+            unsafe_allow: Vec::new(),
+            hotpath_functions: vec!["demo::hot".into()],
+            hotpath_forbidden: vec![
+                "Vec::new".into(),
+                "vec!".into(),
+                "to_vec".into(),
+                "collect".into(),
+                "clone".into(),
+                "Box::new".into(),
+            ],
+        }
+    }
+
+    fn test_crate() -> CrateConfig {
+        CrateConfig {
+            name: "demo".into(),
+            path: "src".into(),
+            determinism: true,
+            ratchet: true,
+        }
+    }
+
+    fn run_on(src: &str) -> (Report, Counts) {
+        let cfg = test_cfg();
+        let krate = test_crate();
+        let tokens = lex(src);
+        let file = Path::new("src/lib.rs");
+        let ctx = FileContext::new(&cfg, &krate, file, &tokens);
+        let mut report = Report::default();
+        let mut counts = Counts {
+            suppressions: ctx.suppression_count(),
+            ..Counts::default()
+        };
+        let mut seen = BTreeMap::new();
+        check_file(&ctx, &mut report, &mut counts, &mut seen);
+        (report, counts)
+    }
+
+    #[test]
+    fn determinism_ident_fires() {
+        let (report, _) = run_on("use std::collections::HashMap;");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, Rule::Determinism);
+        assert_eq!(report.violations[0].line, 1);
+    }
+
+    #[test]
+    fn determinism_path_fires_but_not_prefix() {
+        let (report, _) = run_on("let t = Instant::now();");
+        assert_eq!(report.violations.len(), 1);
+        // `Instant::elapsed` alone must NOT fire `Instant::now`.
+        let (report, _) = run_on("let t = Instant::elapsed(&x);");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn determinism_in_comment_or_string_silent() {
+        let (report, _) = run_on("// HashMap here\nlet s = \"Instant::now\";");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn suppression_moves_to_suppressed() {
+        let (report, counts) =
+            run_on("// lint: allow(determinism)\nuse std::collections::HashMap;");
+        assert!(report.violations.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(counts.suppressions, 1);
+    }
+
+    #[test]
+    fn suppression_wrong_rule_does_not_apply() {
+        let (report, counts) = run_on("// lint: allow(hotpath)\nuse std::collections::HashMap;");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(counts.suppressions, 1); // still counted
+    }
+
+    #[test]
+    fn panic_sites_counted() {
+        let (_, counts) = run_on(
+            "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); }\n\
+             fn g() { let unwrap = 1; std::panic::catch_unwind(|| {}); }",
+        );
+        assert_eq!(counts.panic_sites, 3);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let (report, _) = run_on("fn f() { unsafe { work() } }");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, Rule::UnsafeHygiene);
+
+        let (report, _) = run_on("// SAFETY: bounds checked above\nfn f() { unsafe { work() } }");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_allowlist_site() {
+        let mut cfg = test_cfg();
+        cfg.unsafe_allow = vec!["src/lib.rs:1".into()];
+        let krate = test_crate();
+        let tokens = lex("fn f() { unsafe { work() } }");
+        let ctx = FileContext::new(&cfg, &krate, Path::new("src/lib.rs"), &tokens);
+        let mut report = Report::default();
+        let mut counts = Counts::default();
+        let mut seen = BTreeMap::new();
+        check_file(&ctx, &mut report, &mut counts, &mut seen);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn hotpath_allocation_fires_only_in_registered_fn() {
+        let src = "fn hot(out: &mut [f64]) { let v = Vec::new(); }\n\
+                   fn cold() { let v = Vec::new(); }";
+        let (report, _) = run_on(src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, Rule::Hotpath);
+        assert_eq!(report.violations[0].line, 1);
+    }
+
+    #[test]
+    fn hotpath_method_and_macro_forms() {
+        let src = "fn hot(xs: &[f64]) { let a = vec![0.0]; let b = xs.to_vec(); let c = xs.iter().collect::<Vec<_>>(); }";
+        let (report, _) = run_on(src);
+        let rules: Vec<_> = report.violations.iter().map(|d| &d.token).collect();
+        assert_eq!(report.violations.len(), 3, "{rules:?}");
+    }
+
+    #[test]
+    fn hotpath_coverage_reports_stale_entry() {
+        let cfg = test_cfg();
+        let krate = test_crate();
+        let seen = BTreeMap::new(); // `demo::hot` never matched
+        let mut report = Report::default();
+        hotpath_coverage_check(&cfg, &krate, &seen, &mut report);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].token.contains("demo::hot"));
+    }
+
+    #[test]
+    fn ratchet_regression_and_improvement() {
+        let krate = test_crate();
+        let mut baseline = Baseline::default();
+        baseline.crates.insert(
+            "demo".into(),
+            Counts {
+                panic_sites: 2,
+                suppressions: 0,
+            },
+        );
+        let cfg = test_cfg();
+
+        let mut report = Report::default();
+        let worse = Counts {
+            panic_sites: 3,
+            suppressions: 0,
+        };
+        ratchet_check(&cfg, &krate, &worse, &baseline, &mut report);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, Rule::PanicFreedom);
+
+        let mut report = Report::default();
+        let better = Counts {
+            panic_sites: 1,
+            suppressions: 0,
+        };
+        ratchet_check(&cfg, &krate, &better, &baseline, &mut report);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.improvements.len(), 1);
+    }
+
+    #[test]
+    fn allow_parse_variants() {
+        assert_eq!(parse_allow("// lint: allow(determinism)"), vec!["determinism"]);
+        assert_eq!(
+            parse_allow("// lint: allow(hotpath, determinism)"),
+            vec!["hotpath", "determinism"]
+        );
+        assert!(parse_allow("// just a comment").is_empty());
+        assert!(parse_allow("// lint: deny(x)").is_empty());
+        // Prose that mentions the syntax is not a directive.
+        assert!(parse_allow("// docs: write `// lint: allow(rule)` above the line").is_empty());
+        assert!(parse_allow("/* lint: allow(hotpath) */").len() == 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `overrun-lint` binary: exit codes per fixture,
+//! JSON output, suppression handling, and the baseline-ratchet round trip.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_overrun-lint")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .join("lint.toml")
+}
+
+fn run_lint(config: &Path, extra: &[&str]) -> Output {
+    Command::new(bin())
+        .arg("--config")
+        .arg(config)
+        .args(extra)
+        .output()
+        .expect("spawn overrun-lint")
+}
+
+/// Exit code, asserting the process was not killed by a signal.
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("terminated by signal")
+}
+
+fn json_of(config: &Path) -> String {
+    let out = run_lint(config, &["--json"]);
+    String::from_utf8(out.stdout).expect("JSON output is UTF-8")
+}
+
+#[test]
+fn every_violation_fixture_fails_deny_with_exactly_one_finding() {
+    for (name, rule) in [
+        ("determinism", "determinism"),
+        ("panic_freedom", "panic-freedom"),
+        ("unsafe_hygiene", "unsafe-hygiene"),
+        ("hotpath", "hotpath"),
+    ] {
+        let cfg = fixture(name);
+        let deny = run_lint(&cfg, &["--deny"]);
+        assert_eq!(code(&deny), 1, "fixture {name} must fail --deny");
+
+        let warn = run_lint(&cfg, &[]);
+        assert_eq!(code(&warn), 0, "fixture {name} must pass in warn mode");
+
+        let json = json_of(&cfg);
+        assert!(json.contains("\"clean\":false"), "{name}: {json}");
+        let hits = json.matches(&format!("\"rule\":\"{rule}\"")).count();
+        assert_eq!(hits, 1, "fixture {name} must fire `{rule}` exactly once: {json}");
+    }
+}
+
+#[test]
+fn suppressed_fixture_passes_deny_and_reports_suppressions() {
+    let cfg = fixture("suppressed");
+    let deny = run_lint(&cfg, &["--deny"]);
+    assert_eq!(code(&deny), 0, "suppressed finding must not fail --deny");
+
+    let json = json_of(&cfg);
+    assert!(json.contains("\"clean\":true"), "{json}");
+    // Both placements (line above, trailing on the same line) suppress.
+    assert_eq!(json.matches("\"rule\":\"determinism\"").count(), 2, "{json}");
+    assert!(json.contains("\"suppressed\":[{"), "{json}");
+    assert!(json.contains("\"violations\":[]"), "{json}");
+}
+
+#[test]
+fn workspace_config_is_clean_under_deny() {
+    // The acceptance criterion: the committed lint.toml + baseline pass
+    // --deny against the current tree.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_lint(&root.join("lint.toml"), &["--deny"]);
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(code(&out), 0, "workspace lint must be clean:\n{stderr}");
+}
+
+#[test]
+fn unknown_flag_and_missing_config_are_usage_errors() {
+    let out = run_lint(&fixture("determinism"), &["--bogus"]);
+    assert_eq!(code(&out), 2);
+    let out = run_lint(Path::new("/nonexistent/lint.toml"), &[]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn baseline_ratchet_round_trip() {
+    // Copy the panic_freedom fixture into a temp dir so --update-baseline
+    // can write without touching the checked-in fixture.
+    let dir = std::env::temp_dir().join(format!("overrun-lint-ratchet-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    let fixture_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/panic_freedom");
+    std::fs::copy(fixture_dir.join("lint.toml"), dir.join("lint.toml")).expect("copy config");
+    std::fs::copy(fixture_dir.join("src/lib.rs"), src_dir.join("lib.rs")).expect("copy source");
+    let cfg = dir.join("lint.toml");
+
+    // 1. No baseline: one unwrap ratchets against zero and fails.
+    assert_eq!(code(&run_lint(&cfg, &["--deny"])), 1);
+
+    // 2. Record the baseline: the same count now passes.
+    assert_eq!(code(&run_lint(&cfg, &["--update-baseline", "--deny"])), 1,
+        "the updating run itself still reports the pre-update regression");
+    assert_eq!(code(&run_lint(&cfg, &["--deny"])), 0, "baseline recorded");
+
+    // 3. Regression: a new panic site exceeds the baseline and fails.
+    let mut source = std::fs::read_to_string(src_dir.join("lib.rs")).expect("read");
+    source.push_str("\npub fn regression(y: Option<u32>) -> u32 { y.expect(\"boom\") }\n");
+    std::fs::write(src_dir.join("lib.rs"), &source).expect("write");
+    assert_eq!(code(&run_lint(&cfg, &["--deny"])), 1, "new site must regress");
+
+    // 4. Burn-down: removing every panic site passes and the improvement
+    //    can be locked in; the old (higher) baseline stays valid.
+    std::fs::write(src_dir.join("lib.rs"), "pub fn clean() -> u32 { 0 }\n").expect("write");
+    assert_eq!(code(&run_lint(&cfg, &["--deny"])), 0, "burn-down passes against old baseline");
+    assert_eq!(code(&run_lint(&cfg, &["--update-baseline", "--deny"])), 0);
+    let baseline =
+        std::fs::read_to_string(dir.join("lint-baseline.toml")).expect("baseline written");
+    assert!(baseline.contains("panic_sites = 0"), "{baseline}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,8 @@
+// Fixture source: exactly one determinism violation (the HashMap below).
+// The same tokens inside comments and strings must NOT fire:
+// HashMap, Instant::now, std::env
+use std::collections::HashMap;
+
+pub fn decoy() -> &'static str {
+    "HashMap and std::env in a string are invisible to the lexer"
+}

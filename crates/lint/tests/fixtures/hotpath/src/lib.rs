@@ -1,0 +1,11 @@
+// Fixture source: exactly one hot-path violation (Vec::new in hot_kernel).
+pub fn hot_kernel(out: &mut [f64]) {
+    let scratch: Vec<f64> = Vec::new();
+    for o in out.iter_mut() {
+        *o += scratch.len() as f64;
+    }
+}
+
+pub fn cold_setup() -> Vec<f64> {
+    Vec::new() // identical token sequence, unregistered fn — no finding
+}

@@ -1,0 +1,6 @@
+// Fixture source: exactly one panic site. `unwrap` as a plain identifier
+// (no call parenthesis) and `std::panic::…` paths must not count.
+pub fn one_site(x: Option<u32>) -> u32 {
+    let unwrap = 1; // identifier, not a call — not counted
+    x.unwrap() + unwrap
+}

@@ -1,0 +1,9 @@
+// Fixture source: one determinism finding, suppressed inline.
+// lint: allow(determinism)
+use std::collections::HashMap;
+
+pub type Cache = HashMap<u32, u32>; // lint: allow(determinism)
+
+pub fn decoy() -> u32 {
+    7
+}

@@ -1,0 +1,9 @@
+// Fixture source: two unsafe blocks, one documented — exactly one firing.
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p overrun-control --example deployment_check
 //! ```
+#![allow(clippy::print_stdout)] // examples exist to print
 
 use overrun_control::prelude::*;
 use overrun_rtsim::{response_time_analysis, ExecutionModel, Span, Task};

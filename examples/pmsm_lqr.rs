@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p overrun-control --example pmsm_lqr --release
 //! ```
+#![allow(clippy::print_stdout)] // examples exist to print
 
 use overrun_control::lqr;
 use overrun_control::prelude::*;

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p overrun-control --example quickstart
 //! ```
+#![allow(clippy::print_stdout)] // examples exist to print
 
 use overrun_control::metrics::{evaluate_worst_case, WorstCaseOptions};
 use overrun_control::prelude::*;

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p overrun-control --example timeline
 //! ```
+#![allow(clippy::print_stdout)] // examples exist to print
 
 use overrun_rtsim::{
     render_timeline, response_time_analysis, utilization, ExecutionModel, OverrunPolicy,

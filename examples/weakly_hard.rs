@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run -p overrun-control --example weakly_hard --release
 //! ```
+#![allow(clippy::print_stdout)] // examples exist to print
 
 use overrun_control::prelude::*;
 use overrun_control::scenarios::pmsm_table2_weights;

@@ -10,6 +10,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> overrun-lint --deny (determinism / panic ratchet / unsafe / hot-path)"
+cargo run --release -q -p overrun-lint -- --deny
+
+echo "==> numeric sanitizer test leg (--features sanitize)"
+cargo test --release -q -p overrun-linalg --features sanitize
+cargo test --release -q -p overrun-jsr --features sanitize --test sanitize_poison
+
 echo "==> determinism + screening equivalence at OVERRUN_THREADS=4"
 OVERRUN_THREADS=4 cargo test --release -q -p overrun-control \
   --test par_determinism --test screening_equivalence
