@@ -8,7 +8,7 @@
 //! cargo run -p overrun-bench --bin figure1
 //! ```
 
-use overrun_bench::RunArgs;
+use overrun_bench::{metrics, RunArgs};
 use overrun_rtsim::{render_timeline, trace_to_csv, OverrunPolicy, Span, TimelineOptions};
 
 fn main() {
@@ -19,6 +19,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = args.apply_threads();
+    args.start_trace();
+    let started = std::time::Instant::now();
     // The paper's Figure 1 setting: Ns = 8, job 2 overruns past 2T.
     let t = Span::from_millis(8);
     let policy = match OverrunPolicy::new(t, 8) {
@@ -42,14 +45,14 @@ fn main() {
         }
     };
     match render_timeline(&trace, &TimelineOptions::default()) {
-        Ok(art) => println!("{art}"),
+        Ok(art) => args.human(&art),
         Err(e) => {
             eprintln!("render failed: {e}");
             std::process::exit(1);
         }
     }
     for job in &trace.jobs {
-        println!(
+        args.human(&format!(
             "job {}: release {}, finish {}, h = {}, delta = {}, overran = {}",
             job.index + 1,
             job.release,
@@ -57,10 +60,18 @@ fn main() {
             job.interval,
             job.delta,
             job.overran
-        );
+        ));
     }
     match args.write_artifact("figure1.csv", &trace_to_csv(&trace)) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => args.human(&format!("wrote {}", path.display())),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
+    let elapsed = started.elapsed();
+    let overruns = trace.jobs.iter().filter(|j| j.overran).count();
+    let mut km = metrics(&[
+        ("jobs", trace.jobs.len() as f64),
+        ("overruns", overruns as f64),
+    ]);
+    km.extend(args.finish_trace("figure1"));
+    args.maybe_write_json("figure1", threads, elapsed, &km);
 }

@@ -15,7 +15,7 @@
 //! cargo run -p overrun-bench --bin jsr_ablation --release
 //! ```
 
-use overrun_bench::RunArgs;
+use overrun_bench::{metrics, RunArgs};
 use overrun_control::lqr;
 use overrun_control::prelude::*;
 use overrun_control::scenarios::pmsm_table2_weights;
@@ -33,13 +33,16 @@ fn main() {
         }
     };
     let threads = args.apply_threads();
+    args.start_trace();
     let plant = plants::pmsm();
     let t = 50e-6;
-    println!("JSR method ablation on the Table-II lifted sets (PMSM, adaptive LQR, {threads} threads)");
-    println!(
+    args.human(&format!(
+        "JSR method ablation on the Table-II lifted sets (PMSM, adaptive LQR, {threads} threads)"
+    ));
+    args.human(&format!(
         "{:<14} {:>3} | {:^23} | {:^23} | {:^23} | {:^23}",
         "config", "#H", "Eq.12 depth 6", "Gripenberg (2-norm)", "Gripenberg (ellipsoid)", "power-lifted refine"
-    );
+    ));
     let started = std::time::Instant::now();
     let mut total = ScreenStats::default();
     let mut configs = 0usize;
@@ -79,14 +82,14 @@ fn main() {
                     ..Default::default()
                 },
             )?;
-            println!(
+            args.human(&format!(
                 "{factor:.1}T  Ts=T/{ns} {:>3} | {eq12} | {plain} | {ell} | {refined}",
                 set.len(),
-            );
-            println!("    eq12:    {s_eq12}");
-            println!("    plain:   {s_plain}");
-            println!("    ellips:  {s_ell}");
-            println!("    refined: {s_refined}");
+            ));
+            args.human(&format!("    eq12:    {s_eq12}"));
+            args.human(&format!("    plain:   {s_plain}"));
+            args.human(&format!("    ellips:  {s_ell}"));
+            args.human(&format!("    refined: {s_refined}"));
             for s in [&s_eq12, &s_plain, &s_ell, &s_refined] {
                 total.absorb(s);
             }
@@ -98,18 +101,15 @@ fn main() {
         }
     }
     let elapsed = started.elapsed();
-    println!(
+    args.human(&format!(
         "total: {total}\nelapsed: {elapsed:.1?} ({configs} configs)"
-    );
-    args.maybe_write_json(
-        "jsr_ablation",
-        threads,
-        elapsed,
-        &[
-            ("configs", configs as f64),
-            ("schur_evals", total.schur_evals() as f64),
-            ("schur_skipped", total.schur_skipped() as f64),
-            ("screen_hit_rate", total.hit_rate()),
-        ],
-    );
+    ));
+    let mut km = metrics(&[
+        ("configs", configs as f64),
+        ("schur_evals", total.schur_evals() as f64),
+        ("schur_skipped", total.schur_skipped() as f64),
+        ("screen_hit_rate", total.hit_rate()),
+    ]);
+    km.extend(args.finish_trace("jsr_ablation"));
+    args.maybe_write_json("jsr_ablation", threads, elapsed, &km);
 }

@@ -8,7 +8,7 @@
 //! cargo run -p overrun-bench --bin table1 --release -- --quick # smoke
 //! ```
 
-use overrun_bench::{run_header, RunArgs};
+use overrun_bench::{metrics, run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_table1, table1};
 
@@ -21,12 +21,13 @@ fn main() {
         }
     };
     let threads = args.apply_threads();
+    args.start_trace();
     let plant = plants::unstable_second_order();
     let t = 0.010; // 10 ms control period, as in the paper
-    println!(
+    args.human(&format!(
         "Table I — PI on an unstable plant, T = 10 ms, {} sequences x {} jobs (seed {}, {} threads)",
         args.sequences, args.jobs, args.seed, threads
-    );
+    ));
     let started = std::time::Instant::now();
     let rows = match table1(&plant, t, &args.experiment_config()) {
         Ok(r) => r,
@@ -36,8 +37,8 @@ fn main() {
         }
     };
     let elapsed = started.elapsed();
-    println!("{}", format_table1(&rows));
-    println!("elapsed: {elapsed:.1?}");
+    args.human(&format_table1(&rows));
+    args.human(&format!("elapsed: {elapsed:.1?}"));
 
     let mut csv = run_header(threads, elapsed);
     csv.push_str("rmax_factor,ns,jw_adaptive,jw_fixed_t,jw_fixed_rmax\n");
@@ -48,15 +49,15 @@ fn main() {
         ));
     }
     match args.write_artifact("table1.csv", &csv) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => args.human(&format!("wrote {}", path.display())),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
 
-    let mut metrics: Vec<(&str, f64)> = vec![("rows", rows.len() as f64)];
     let worst = rows
         .iter()
         .map(|r| r.jw_adaptive)
         .fold(f64::NEG_INFINITY, f64::max);
-    metrics.push(("max_jw_adaptive", worst));
-    args.maybe_write_json("table1", threads, elapsed, &metrics);
+    let mut km = metrics(&[("rows", rows.len() as f64), ("max_jw_adaptive", worst)]);
+    km.extend(args.finish_trace("table1"));
+    args.maybe_write_json("table1", threads, elapsed, &km);
 }

@@ -8,7 +8,7 @@
 //! cargo run -p overrun-bench --bin table2 --release -- --quick # smoke
 //! ```
 
-use overrun_bench::{run_header, RunArgs};
+use overrun_bench::{metrics, run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_table2, pmsm_table2_weights, table2};
 use overrun_linalg::Matrix;
@@ -22,13 +22,14 @@ fn main() {
         }
     };
     let threads = args.apply_threads();
+    args.start_trace();
     let plant = plants::pmsm();
     let t = 50e-6; // 50 µs control period, as in the paper
     let x0 = Matrix::col_vec(&[1.0, 1.0, 1.0]);
-    println!(
+    args.human(&format!(
         "Table II — LQR on a PMSM, T = 50 us, {} sequences x {} jobs (seed {}, {} threads)",
         args.sequences, args.jobs, args.seed, threads
-    );
+    ));
     let started = std::time::Instant::now();
     let rows = match table2(&plant, t, &pmsm_table2_weights(), &x0, &args.experiment_config()) {
         Ok(r) => r,
@@ -38,15 +39,15 @@ fn main() {
         }
     };
     let elapsed = started.elapsed();
-    println!("{}", format_table2(&rows));
-    println!("norm screening (adaptive-design certifications):");
+    args.human(&format_table2(&rows));
+    args.human("norm screening (adaptive-design certifications):");
     for r in &rows {
-        println!(
+        args.human(&format!(
             "  Rmax={:.1}*T Ns={}: {}",
             r.rmax_factor, r.ns, r.screen_adaptive
-        );
+        ));
     }
-    println!("elapsed: {elapsed:.1?}");
+    args.human(&format!("elapsed: {elapsed:.1?}"));
 
     let mut csv = run_header(threads, elapsed);
     csv.push_str(
@@ -68,7 +69,7 @@ fn main() {
         ));
     }
     match args.write_artifact("table2.csv", &csv) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => args.human(&format!("wrote {}", path.display())),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
 
@@ -80,16 +81,13 @@ fn main() {
         .iter()
         .map(|r| r.jsr_adaptive.upper)
         .fold(f64::NEG_INFINITY, f64::max);
-    args.maybe_write_json(
-        "table2",
-        threads,
-        elapsed,
-        &[
-            ("rows", rows.len() as f64),
-            ("max_jsr_ub", max_ub),
-            ("schur_evals", screen.schur_evals() as f64),
-            ("schur_skipped", screen.schur_skipped() as f64),
-            ("screen_hit_rate", screen.hit_rate()),
-        ],
-    );
+    let mut km = metrics(&[
+        ("rows", rows.len() as f64),
+        ("max_jsr_ub", max_ub),
+        ("schur_evals", screen.schur_evals() as f64),
+        ("schur_skipped", screen.schur_skipped() as f64),
+        ("screen_hit_rate", screen.hit_rate()),
+    ]);
+    km.extend(args.finish_trace("table2"));
+    args.maybe_write_json("table2", threads, elapsed, &km);
 }

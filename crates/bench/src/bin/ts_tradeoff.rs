@@ -7,7 +7,7 @@
 //! cargo run -p overrun-bench --bin ts_tradeoff --release
 //! ```
 
-use overrun_bench::{run_header, RunArgs};
+use overrun_bench::{metrics, run_header, RunArgs};
 use overrun_control::plants;
 use overrun_control::scenarios::{format_granularity, granularity_sweep};
 
@@ -20,11 +20,12 @@ fn main() {
         }
     };
     let threads = args.apply_threads();
+    args.start_trace();
     let plant = plants::unstable_second_order();
-    println!(
+    args.human(&format!(
         "Ts trade-off — PI, T = 10 ms, Rmax = 1.6 T, {} sequences x {} jobs ({} threads)",
         args.sequences, args.jobs, threads
-    );
+    ));
     let started = std::time::Instant::now();
     let rows = match granularity_sweep(
         &plant,
@@ -40,8 +41,8 @@ fn main() {
         }
     };
     let elapsed = started.elapsed();
-    println!("{}", format_granularity(&rows));
-    println!("elapsed: {elapsed:.1?}");
+    args.human(&format_granularity(&rows));
+    args.human(&format!("elapsed: {elapsed:.1?}"));
 
     let mut csv = run_header(threads, elapsed);
     csv.push_str("ns,h_count,jsr_lb,jsr_ub,jw_adaptive,worst_idle_slack_s\n");
@@ -52,7 +53,7 @@ fn main() {
         ));
     }
     match args.write_artifact("ts_tradeoff.csv", &csv) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => args.human(&format!("wrote {}", path.display())),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
 
@@ -60,10 +61,7 @@ fn main() {
         .iter()
         .map(|r| r.jsr.upper)
         .fold(f64::NEG_INFINITY, f64::max);
-    args.maybe_write_json(
-        "ts_tradeoff",
-        threads,
-        elapsed,
-        &[("rows", rows.len() as f64), ("max_jsr_ub", max_ub)],
-    );
+    let mut km = metrics(&[("rows", rows.len() as f64), ("max_jsr_ub", max_ub)]);
+    km.extend(args.finish_trace("ts_tradeoff"));
+    args.maybe_write_json("ts_tradeoff", threads, elapsed, &km);
 }

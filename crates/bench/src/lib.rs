@@ -21,7 +21,11 @@ use std::path::PathBuf;
 ///   cores; results are bit-identical for any value),
 /// * `--out DIR` — directory for CSV output (default `bench_results`),
 /// * `--json PATH` — append a machine-readable summary record to `PATH`
-///   (JSON lines; the `BENCH_JSON` env var sets a default path).
+///   (JSON lines; the `BENCH_JSON` env var sets a default path; `-` writes
+///   the record to stdout and routes human-readable output to stderr),
+/// * `--trace[=PATH]` — collect a structured trace of the run (requires
+///   building with `--features trace`): JSONL events go to `PATH` (default
+///   `<out_dir>/<bin>.trace.jsonl`) and a span-tree summary to stderr.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Random sequences per configuration.
@@ -36,6 +40,9 @@ pub struct RunArgs {
     pub out_dir: PathBuf,
     /// Append-mode JSON-lines summary file (`--json` / `BENCH_JSON`).
     pub json: Option<PathBuf>,
+    /// Trace request: `None` = off, `Some(None)` = `--trace` (default
+    /// path), `Some(Some(p))` = `--trace=p`.
+    pub trace: Option<Option<PathBuf>>,
 }
 
 impl Default for RunArgs {
@@ -47,6 +54,7 @@ impl Default for RunArgs {
             threads: None,
             out_dir: PathBuf::from("bench_results"),
             json: None,
+            trace: None,
         }
     }
 }
@@ -89,6 +97,16 @@ impl RunArgs {
                         .ok_or_else(|| "--json requires a file path".to_string())?;
                     out.json = Some(PathBuf::from(v));
                 }
+                "--trace" => {
+                    out.trace = Some(None);
+                }
+                other if other.starts_with("--trace=") => {
+                    let v = &other["--trace=".len()..];
+                    if v.is_empty() {
+                        return Err("--trace= requires a file path".to_string());
+                    }
+                    out.trace = Some(Some(PathBuf::from(v)));
+                }
                 other => {
                     return Err(format!("unknown argument `{other}`"));
                 }
@@ -101,7 +119,86 @@ impl RunArgs {
                 }
             }
         }
+        #[cfg(not(feature = "trace"))]
+        if out.trace.is_some() {
+            return Err(
+                "--trace requires building with `--features trace` \
+                 (cargo run -p overrun-bench --features trace ...)"
+                    .to_string(),
+            );
+        }
         Ok(out)
+    }
+
+    /// Whether the machine-readable summary goes to stdout (`--json -`),
+    /// in which case all human-readable output must go to stderr.
+    pub fn json_on_stdout(&self) -> bool {
+        self.json.as_deref() == Some(std::path::Path::new("-"))
+    }
+
+    /// Prints a human-readable line: to stdout normally, to stderr when
+    /// stdout is reserved for the machine-readable record (`--json -`).
+    pub fn human(&self, line: &str) {
+        if self.json_on_stdout() {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+
+    /// Installs the global trace sink with a monotonic clock when the run
+    /// requested `--trace`. No-op (and compiled to nothing) when the
+    /// `trace` cargo feature is off.
+    #[cfg(feature = "trace")]
+    pub fn start_trace(&self) {
+        if self.trace.is_some() && !overrun_trace::install(overrun_trace::MonotonicClock::new()) {
+            eprintln!("warning: trace sink already active; --trace ignored");
+        }
+    }
+
+    /// Installs the global trace sink (inert: built without `--features
+    /// trace`, and `--trace` is rejected at argument parsing).
+    #[cfg(not(feature = "trace"))]
+    pub fn start_trace(&self) {}
+
+    /// Finishes the trace started by [`RunArgs::start_trace`]: writes the
+    /// JSONL event log to `--trace=PATH` (default
+    /// `<out_dir>/<bin>.trace.jsonl`), renders the span-tree summary to
+    /// stderr, and returns the trace's key metrics for the `--json`
+    /// summary record. Returns an empty vector when tracing is off.
+    #[cfg(feature = "trace")]
+    pub fn finish_trace(&self, bin: &str) -> Vec<(String, f64)> {
+        let Some(requested) = &self.trace else {
+            return Vec::new();
+        };
+        let Some(trace) = overrun_trace::finish() else {
+            return Vec::new();
+        };
+        let path = match requested {
+            Some(p) => p.clone(),
+            None => self.out_dir.join(format!("{bin}.trace.jsonl")),
+        };
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            trace.write_jsonl(&mut f)
+        };
+        match write() {
+            Ok(()) => eprintln!("trace: wrote {} events to {}", trace.events.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write trace {}: {e}", path.display()),
+        }
+        eprintln!("{}", trace.render());
+        trace.key_metrics()
+    }
+
+    /// Finishes the trace (inert: built without `--features trace`).
+    #[cfg(not(feature = "trace"))]
+    pub fn finish_trace(&self, _bin: &str) -> Vec<(String, f64)> {
+        Vec::new()
     }
 
     /// Builds the experiment configuration for the scenario drivers.
@@ -134,21 +231,32 @@ impl RunArgs {
     }
 
     /// Appends one machine-readable summary record to the `--json` /
-    /// `BENCH_JSON` file, if one was requested. I/O failures are reported
-    /// on stderr, never fatal — the human-readable output already happened.
+    /// `BENCH_JSON` file, if one was requested (`-` prints the record to
+    /// stdout instead). I/O failures are reported on stderr, never fatal —
+    /// the human-readable output already happened.
     pub fn maybe_write_json(
         &self,
         bin: &str,
         threads: usize,
         elapsed: std::time::Duration,
-        key_metrics: &[(&str, f64)],
+        key_metrics: &[(String, f64)],
     ) {
         let Some(path) = &self.json else { return };
         let record = json_record(bin, threads, elapsed, key_metrics);
-        if let Err(e) = append_line(path, &record) {
+        if self.json_on_stdout() {
+            println!("{record}");
+        } else if let Err(e) = append_line(path, &record) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
+}
+
+/// Builds an owned key-metric list from `(&str, f64)` pairs, ready to be
+/// extended with [`RunArgs::finish_trace`] output and passed to
+/// [`RunArgs::maybe_write_json`].
+#[must_use]
+pub fn metrics(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+    pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
 }
 
 /// Formats one JSON-lines benchmark record:
@@ -159,7 +267,7 @@ pub fn json_record(
     bin: &str,
     threads: usize,
     elapsed: std::time::Duration,
-    key_metrics: &[(&str, f64)],
+    key_metrics: &[(String, f64)],
 ) -> String {
     let mut metrics = String::new();
     for (i, (k, v)) in key_metrics.iter().enumerate() {
@@ -262,12 +370,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_trace_flag() {
+        // Without the cargo feature, --trace must be rejected with a clear
+        // message; with it, both spellings parse.
+        let bare = RunArgs::parse(["--trace".to_string()]);
+        let with_path = RunArgs::parse(["--trace=/tmp/t.jsonl".to_string()]);
+        #[cfg(feature = "trace")]
+        {
+            assert_eq!(bare.ok().map(|a| a.trace), Some(Some(None)));
+            assert_eq!(
+                with_path.ok().map(|a| a.trace),
+                Some(Some(Some(PathBuf::from("/tmp/t.jsonl"))))
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            assert!(bare.err().is_some_and(|e| e.contains("--features trace")));
+            assert!(with_path
+                .err()
+                .is_some_and(|e| e.contains("--features trace")));
+        }
+        assert!(RunArgs::parse(["--trace=".to_string()]).is_err());
+    }
+
+    #[test]
+    fn json_stdout_routing() {
+        let dash = RunArgs {
+            json: Some(PathBuf::from("-")),
+            ..RunArgs::default()
+        };
+        assert!(dash.json_on_stdout());
+        assert!(!RunArgs::default().json_on_stdout());
+        let file = RunArgs {
+            json: Some(PathBuf::from("/tmp/x.json")),
+            ..RunArgs::default()
+        };
+        assert!(!file.json_on_stdout());
+    }
+
+    #[test]
     fn json_record_format() {
         let r = json_record(
             "table2",
             4,
             std::time::Duration::from_millis(1234),
-            &[("jsr_ub", 0.75), ("cost", f64::INFINITY)],
+            &metrics(&[("jsr_ub", 0.75), ("cost", f64::INFINITY)]),
         );
         assert_eq!(
             r,
@@ -286,8 +433,8 @@ mod tests {
             ..RunArgs::default()
         };
         let t = std::time::Duration::from_millis(10);
-        args.maybe_write_json("a", 1, t, &[("x", 1.0)]);
-        args.maybe_write_json("b", 2, t, &[("y", 2.0)]);
+        args.maybe_write_json("a", 1, t, &metrics(&[("x", 1.0)]));
+        args.maybe_write_json("b", 2, t, &metrics(&[("y", 2.0)]));
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body.lines().count(), 2);
         assert!(body.lines().nth(1).unwrap().contains("\"bin\": \"b\""));

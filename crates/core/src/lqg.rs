@@ -15,7 +15,7 @@
 //! With the regulation convention `e[k] = −y[k]`, the innovation term
 //! `L·y` enters through `Bc = [−L; 0]`.
 
-use overrun_linalg::{dkalman, Matrix};
+use overrun_linalg::{dkalman_solution, Matrix};
 
 use crate::lqr::LqrWeights;
 use crate::{ContinuousSs, ControllerMode, ControllerTable, Error, IntervalSet, Result};
@@ -98,9 +98,12 @@ pub fn mode_for_interval(
     let (kx, ku) = state_mode;
 
     // Steady-state predictor Kalman gain for the h-discretised plant.
+    let _sp = overrun_trace::span!("lqg.mode", h_us = h * 1e6);
     let d = plant.discretize(h)?;
-    let (l, _m, _p) = dkalman(&d.phi, &d.c, &noise.process, &noise.measurement)
+    let (l, _m, sol) = dkalman_solution(&d.phi, &d.c, &noise.process, &noise.measurement)
         .map_err(|e| Error::Design(format!("Kalman design failed at h = {h}: {e}")))?;
+    overrun_trace::counter!("lqg.kalman_iters", sol.iterations as u64);
+    overrun_trace::histogram!("lqg.kalman_residual", sol.residual);
 
     // z = [x̂; u_prev]:
     //   x̂' = (Φ − LC) x̂ + Γ u_prev − L e      (e = −y)
@@ -154,6 +157,7 @@ pub fn design_adaptive(
     weights: &LqrWeights,
     noise: &NoiseModel,
 ) -> Result<ControllerTable> {
+    let _sp = overrun_trace::span!("table.lqg", modes = hset.len());
     // One Riccati + Kalman solve per interval, all independent — fan the
     // table out across threads (serial when only one is available).
     let modes = overrun_par::try_parallel_map(hset.intervals(), |_, &h| {

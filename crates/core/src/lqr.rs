@@ -15,7 +15,7 @@
 //! `u[k+1] = −K_x(h) x[k] − K_u(h) u[k]`, realised as a controller mode
 //! whose internal state is the previously issued command.
 
-use overrun_linalg::{dlqr, Matrix};
+use overrun_linalg::{dlqr_solution, Matrix};
 
 use crate::{ContinuousSs, ControllerMode, ControllerTable, Error, IntervalSet, Result};
 
@@ -99,9 +99,12 @@ pub fn mode_for_interval(
         .set_block(n, n, &(weights.r.clone() * 1e-9))
         .map_err(Error::Linalg)?;
 
-    let (k_gain, _x) = dlqr(&a_aug, &b_aug, &q_aug, &weights.r).map_err(|e| {
+    let _sp = overrun_trace::span!("lqr.mode", h_us = h * 1e6);
+    let (k_gain, sol) = dlqr_solution(&a_aug, &b_aug, &q_aug, &weights.r).map_err(|e| {
         Error::Design(format!("delayed LQR Riccati failed at h = {h}: {e}"))
     })?;
+    overrun_trace::counter!("lqr.riccati_iters", sol.iterations as u64);
+    overrun_trace::histogram!("lqr.riccati_residual", sol.residual);
     let kx = k_gain.submatrix(0, 0, r, n).map_err(Error::Linalg)?;
     let ku = k_gain.submatrix(0, n, r, r).map_err(Error::Linalg)?;
 
@@ -139,6 +142,7 @@ pub fn design_adaptive(
     hset: &IntervalSet,
     weights: &LqrWeights,
 ) -> Result<ControllerTable> {
+    let _sp = overrun_trace::span!("table.lqr", modes = hset.len());
     // Each interval's Riccati solve is independent, so the table is built
     // with one task per h (serial when only one thread is available).
     let modes = overrun_par::try_parallel_map(hset.intervals(), |_, &h| {

@@ -165,6 +165,12 @@ where
         ));
     }
     let n_chunks = opts.num_sequences.div_ceil(ENSEMBLE_CHUNK);
+    let _sp = overrun_trace::span!(
+        "mc.ensemble",
+        sequences = opts.num_sequences,
+        jobs = opts.jobs_per_sequence,
+        chunks = n_chunks
+    );
     let chunks: Vec<usize> = (0..n_chunks).collect();
     let partials: Vec<EnsembleAcc> = try_parallel_map(&chunks, |_, &c| {
         let lo = c * ENSEMBLE_CHUNK;
@@ -188,6 +194,12 @@ where
                 acc.sum += summary.cost;
             }
         }
+        // Instrumentation batches at chunk granularity: one counter event
+        // per chunk, never per sequence or per simulation step.
+        overrun_trace::counter!("mc.sequences", (hi - lo) as u64);
+        overrun_trace::counter!("mc.jobs", ((hi - lo) * opts.jobs_per_sequence) as u64);
+        overrun_trace::counter!("mc.divergence_exits", acc.diverged as u64);
+        overrun_trace::histogram!("mc.chunk_worst", acc.worst);
         Ok::<_, Error>(acc)
     })?;
 
@@ -301,6 +313,7 @@ pub fn exhaustive_worst_case(
             "{q}^{m} = {total} sequences exceed the cap {max_sequences}"
         )));
     }
+    let _sp = overrun_trace::span!("mc.exhaustive", horizon = m, total = total);
     let mut worst = 0.0_f64;
     let mut modes = vec![0usize; m];
     for index in 0..total {

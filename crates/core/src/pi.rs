@@ -100,6 +100,7 @@ fn grid_scan<F: FnMut(f64, f64) -> f64>(mut objective: F) -> (f64, f64, f64) {
 /// structure on this plant (signed log-grid seed + Nelder–Mead polish), and
 /// the derived tuning margin.
 fn contraction_margin(plant: &ContinuousSs, h: f64) -> Result<f64> {
+    let _sp = overrun_trace::span!("pi.margin", h_us = h * 1e6);
     let seed = grid_scan(|kp, ki| closed_loop_rho(plant, h, kp, ki));
     if seed.0 >= 1.0 {
         return Err(Error::Design(format!(
@@ -115,6 +116,7 @@ fn contraction_margin(plant: &ContinuousSs, h: f64) -> Result<f64> {
             initial_step: 0.3,
         },
     )?;
+    overrun_trace::counter!("pi.margin_evals", rho_opt.evals as u64);
     let rho_min = rho_opt.f.min(seed.0);
     Ok((rho_min + MARGIN_FACTOR * (1.0 - rho_min)).min(RHO_CEILING))
 }
@@ -198,6 +200,7 @@ fn tune_with_margin(
     margin: f64,
     seed: Option<(f64, f64)>,
 ) -> Result<(f64, f64)> {
+    let _sp = overrun_trace::span!("pi.tune", h_us = h * 1e6);
     let steps = 400;
     let objective = |kp: f64, ki: f64| -> f64 {
         let rho = closed_loop_rho(plant, h, kp, ki);
@@ -228,6 +231,7 @@ fn tune_with_margin(
             initial_step: 0.25,
         },
     )?;
+    overrun_trace::counter!("pi.nm_evals", result.evals as u64);
     if result.f >= 1e6 && best.0 >= 1e6 {
         return Err(Error::Design(format!(
             "no PI gains satisfy the contraction margin {margin:.4} at h = {h}"
@@ -266,6 +270,7 @@ pub fn design_adaptive(plant: &ContinuousSs, hset: &IntervalSet) -> Result<Contr
             "PI design requires a SISO plant".into(),
         ));
     }
+    let _sp = overrun_trace::span!("table.pi", modes = hset.len());
     // One contraction margin for the whole schedule (computed at the
     // nominal interval): every mode keeps the same slack, so chained
     // refinement cannot drift toward the stability boundary. Each longer

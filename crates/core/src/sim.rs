@@ -109,6 +109,7 @@ impl ClosedLoopSim {
     ///
     /// Propagates discretisation and dimension errors.
     pub fn new(plant: &ContinuousSs, table: &ControllerTable) -> Result<Self> {
+        let _sp = overrun_trace::span!("sim.build", modes = table.len());
         let measurement = lifted::measurement_matrix(plant, table)?;
         let discretizations = table
             .hset()

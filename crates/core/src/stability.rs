@@ -96,6 +96,7 @@ pub fn certify(
     table: &ControllerTable,
     opts: &CertifyOptions,
 ) -> Result<StabilityReport> {
+    let _sp = overrun_trace::span!("stability.certify", modes = table.len());
     let set = lifted_set(plant, table)?;
     let (bounds, screen) = refined_bounds_with_stats(
         &set,

@@ -123,8 +123,15 @@ pub fn gripenberg_with_stats(
     if opts.max_depth == 0 {
         return Err(Error::InvalidOptions("max_depth must be >= 1".into()));
     }
+    let _sp_search = overrun_trace::span!(
+        "jsr.gripenberg",
+        matrices = set.len(),
+        dim = set.dim(),
+        max_depth = opts.max_depth
+    );
     let pre_set;
     let mut set = if opts.precondition {
+        let _sp = overrun_trace::span!("jsr.precondition");
         pre_set = precondition(set)?.0;
         &pre_set
     } else {
@@ -134,10 +141,14 @@ pub fn gripenberg_with_stats(
     let ell_set;
     let mut ellipsoid_bound = f64::INFINITY;
     if opts.ellipsoid {
+        let _sp = overrun_trace::span!("jsr.ellipsoid");
         let ell = crate::ellipsoid::optimize_ellipsoid(set, &Default::default())?;
         ellipsoid_bound = ell.norm_bound;
         ell_set = ell.transform(set)?;
         set = &ell_set;
+        // The one-step ellipsoid bound is the first certified upper bound
+        // of the run; the search below can only tighten it.
+        overrun_trace::progress!("jsr.ub", ellipsoid_bound);
     }
 
     let mut lb = 0.0_f64;
@@ -172,6 +183,9 @@ pub fn gripenberg_with_stats(
         products += 1;
     }
     let mut lb_depth = if lb > 0.0 { 1 } else { 0 };
+    if lb > 0.0 {
+        overrun_trace::progress!("jsr.lb", lb);
+    }
     // Prune depth-1 nodes that can already not beat lb + delta.
     frontier.retain(|n| n.sigma > lb + opts.delta);
 
@@ -188,6 +202,7 @@ pub fn gripenberg_with_stats(
             break;
         }
         depth += 1;
+        let _sp_depth = overrun_trace::span!("jsr.depth", depth = depth, frontier = frontier.len());
         let inv_depth = 1.0 / depth as f64;
         let lb_before = lb;
         // Children born at the depth cap are never expanded: past this
@@ -278,12 +293,15 @@ pub fn gripenberg_with_stats(
         // (conservative) σ and are only dropped when even that cannot beat
         // the bound.
         let mut next = next;
+        let born = next.len();
         next.retain(|n| n.sigma > lb + opts.delta);
+        overrun_trace::counter!("jsr.settled_pruned", (born - next.len()) as u64);
         frontier = next;
         // Per-depth settled lb is deterministic (scheduling and screening
         // only skip max-fold no-ops), so this provenance marker is too.
         if lb > lb_before {
             lb_depth = depth;
+            overrun_trace::progress!("jsr.lb", lb);
         }
     }
 
@@ -295,11 +313,10 @@ pub fn gripenberg_with_stats(
     } else {
         lb + opts.delta
     };
+    let upper = search_upper.min(ellipsoid_bound.max(lb));
+    overrun_trace::progress!("jsr.ub", upper);
     Ok((
-        JsrBounds {
-            lower: lb,
-            upper: search_upper.min(ellipsoid_bound.max(lb)),
-        },
+        JsrBounds { lower: lb, upper },
         counters.snapshot(lb_depth),
     ))
 }

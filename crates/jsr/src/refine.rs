@@ -101,6 +101,8 @@ pub fn refined_bounds_with_stats(
         if current.len() > opts.max_alphabet {
             break;
         }
+        let _sp_level =
+            overrun_trace::span!("jsr.refine_level", level = level, alphabet = current.len());
         let lifted = MatrixSet::new(current.clone())?;
         let (b, s) = gripenberg_with_stats(&lifted, &opts.base)?;
         stats.absorb(&s);

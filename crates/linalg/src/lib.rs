@@ -60,7 +60,7 @@ pub use norms::{
     spectral_radius_upper, CheapSpectralBounds,
 };
 pub use qr::Qr;
-pub use riccati::{dkalman, dlqr, solve_dare, DareSolution};
+pub use riccati::{dkalman, dkalman_solution, dlqr, dlqr_solution, solve_dare, DareSolution};
 pub use schur::{eigenvalues, hessenberg, spectral_radius, Eigenvalue};
 pub use svd::{rank, Svd};
 

@@ -164,12 +164,31 @@ fn dare_residual(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix, x: &Matrix) -> 
 /// # }
 /// ```
 pub fn dlqr(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<(Matrix, Matrix)> {
+    let (k, sol) = dlqr_solution(a, b, q, r)?;
+    Ok((k, sol.x))
+}
+
+/// Like [`dlqr`], but returning the full [`DareSolution`] alongside the
+/// gain so callers can surface solver diagnostics (doubling iterations,
+/// final residual) without re-solving. `dlqr(a, b, q, r)` is exactly
+/// `dlqr_solution(a, b, q, r)` with the solution reduced to `X` — the
+/// numerical path is shared, so the results are bit-identical.
+///
+/// # Errors
+///
+/// Same as [`dlqr`].
+pub fn dlqr_solution(
+    a: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+    r: &Matrix,
+) -> Result<(Matrix, DareSolution)> {
     let sol = solve_dare(a, b, q, r)?;
     let x = &sol.x;
     let btxb = b.transpose().matmul(&x.matmul(b)?)?;
     let btxa = b.transpose().matmul(&x.matmul(a)?)?;
     let k = r.add_mat(&btxb)?.solve(&btxa)?;
-    Ok((k, sol.x))
+    Ok((k, sol))
 }
 
 /// Steady-state discrete Kalman gains for
@@ -190,15 +209,33 @@ pub fn dkalman(
     w: &Matrix,
     v: &Matrix,
 ) -> Result<(Matrix, Matrix, Matrix)> {
+    let (l, m, sol) = dkalman_solution(a, c, w, v)?;
+    Ok((l, m, sol.x))
+}
+
+/// Like [`dkalman`], but returning the full [`DareSolution`] of the dual
+/// Riccati equation (whose `x` is the steady-state covariance `P`) so
+/// callers can surface solver diagnostics. The numerical path is shared
+/// with [`dkalman`], so the gains are bit-identical.
+///
+/// # Errors
+///
+/// Same as [`dkalman`].
+pub fn dkalman_solution(
+    a: &Matrix,
+    c: &Matrix,
+    w: &Matrix,
+    v: &Matrix,
+) -> Result<(Matrix, Matrix, DareSolution)> {
     // Dual: DARE with (Aᵀ, Cᵀ, W, V).
     let sol = solve_dare(&a.transpose(), &c.transpose(), w, v)?;
-    let p = sol.x;
+    let p = &sol.x;
     let cpct = c.matmul(&p.matmul(&c.transpose())?)?;
     let s = cpct.add_mat(v)?;
     // M = P Cᵀ S⁻¹ computed as solving Sᵀ Mᵀ = C Pᵀ.
     let m = s.transpose().solve(&c.matmul(&p.transpose())?)?.transpose();
     let l = a.matmul(&m)?;
-    Ok((l, m, p))
+    Ok((l, m, sol))
 }
 
 #[cfg(test)]

@@ -71,6 +71,22 @@ fn suppressed_fixture_passes_deny_and_reports_suppressions() {
 }
 
 #[test]
+fn trace_macro_call_sites_are_lint_clean() {
+    // span!/counter!/histogram!/progress! call sites must not trip the
+    // determinism rule (no clock ident leaks into instrumented crates) nor
+    // the hot-path allocation rule (the macros allocate nothing at the
+    // call site), even inside a registered hot-path function.
+    let cfg = fixture("trace_macros");
+    let deny = run_lint(&cfg, &["--deny"]);
+    let stderr = String::from_utf8_lossy(&deny.stderr).to_string();
+    assert_eq!(code(&deny), 0, "trace macros must be lint-clean:\n{stderr}");
+
+    let json = json_of(&cfg);
+    assert!(json.contains("\"clean\":true"), "{json}");
+    assert!(json.contains("\"violations\":[]"), "{json}");
+}
+
+#[test]
 fn workspace_config_is_clean_under_deny() {
     // The acceptance criterion: the committed lint.toml + baseline pass
     // --deny against the current tree.

@@ -1,0 +1,17 @@
+// Fixture source: instrumented but clean. The trace macros appear both in
+// an ordinary function (determinism scope) and inside the registered
+// hot-path function `hot_kernel` — none of them may trip a rule.
+pub fn search_phase(depth: usize, frontier: usize) -> f64 {
+    let _sp = overrun_trace::span!("fixture.depth", depth = depth, frontier = frontier);
+    overrun_trace::counter!("fixture.nodes", frontier as u64);
+    overrun_trace::progress!("fixture.lb", 0.5);
+    depth as f64
+}
+
+pub fn hot_kernel(out: &mut [f64]) {
+    let _sp = overrun_trace::span!("fixture.kernel", len = out.len());
+    for o in out.iter_mut() {
+        *o *= 2.0;
+    }
+    overrun_trace::histogram!("fixture.scale", out.len() as f64);
+}

@@ -134,6 +134,12 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
+                // Merge this worker's trace counters/events into the global
+                // sink before the scope joins, so counter totals are
+                // complete (and thread-count-invariant) the moment
+                // `try_parallel_map` returns. Results themselves are merged
+                // in index order below and stay bit-identical.
+                overrun_trace::flush_thread();
                 local
             }));
         }

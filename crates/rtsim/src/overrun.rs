@@ -171,6 +171,12 @@ impl OverrunPolicy {
             release += interval;
             jobs.push(record);
         }
+        // Batched per call so the per-job loop above stays trace-free.
+        overrun_trace::counter!("rtsim.jobs", jobs.len() as u64);
+        overrun_trace::counter!(
+            "rtsim.overruns",
+            jobs.iter().filter(|j| j.overran).count() as u64
+        );
         Ok(ReleaseTrace {
             jobs,
             period: self.period,

@@ -216,6 +216,9 @@ impl SequenceGenerator {
 
     /// Draws a sequence of `len` response times.
     pub fn sequence(&mut self, len: usize) -> Vec<Span> {
+        // Counted once per sequence, never per draw, so the hot RNG loop
+        // stays trace-free.
+        overrun_trace::counter!("rtsim.draws", len as u64);
         (0..len).map(|_| self.next_response()).collect()
     }
 

@@ -1,0 +1,83 @@
+//! Shared atomic counter bundles for instrumented libraries.
+//!
+//! A [`CounterBundle`] is a fixed set of named relaxed `AtomicU64`s that a
+//! library can thread through a parallel computation (e.g. the screening
+//! counters shared by Gripenberg workers) independently of whether the
+//! `trace` feature is on. With the feature on, [`CounterBundle::emit`]
+//! forwards the accumulated values to the active sink as counter deltas;
+//! with it off, `emit` is a no-op and the bundle is just cheap shared
+//! arithmetic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `N` named monotonic counters safe to bump from any thread.
+#[derive(Debug)]
+pub struct CounterBundle<const N: usize> {
+    names: [&'static str; N],
+    values: [AtomicU64; N],
+}
+
+impl<const N: usize> CounterBundle<N> {
+    /// Creates a zeroed bundle with one name per slot.
+    pub fn new(names: [&'static str; N]) -> Self {
+        Self {
+            names,
+            values: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `delta` to slot `i` (relaxed; totals are read after joins).
+    #[inline]
+    pub fn add(&self, i: usize, delta: u64) {
+        self.values[i].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to slot `i`.
+    #[inline]
+    pub fn incr(&self, i: usize) {
+        self.add(i, 1);
+    }
+
+    /// Current value of slot `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.values[i].load(Ordering::Relaxed)
+    }
+
+    /// The name of slot `i`.
+    pub fn name(&self, i: usize) -> &'static str {
+        self.names[i]
+    }
+
+    /// Forwards every non-zero slot to the active trace sink as a counter
+    /// delta. Intended for per-run bundles, called once when the run's
+    /// results are snapshotted. No-op when the `trace` feature is off or
+    /// no sink is installed.
+    pub fn emit(&self) {
+        #[cfg(feature = "trace")]
+        for i in 0..N {
+            let v = self.get(i);
+            if v != 0 {
+                crate::sink::__counter(self.names[i], v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let b = CounterBundle::new(["a", "b", "c"]);
+        b.incr(0);
+        b.add(2, 41);
+        b.incr(2);
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(1), 0);
+        assert_eq!(b.get(2), 42);
+        assert_eq!(b.name(1), "b");
+        // emit() must be callable in both feature modes.
+        b.emit();
+    }
+}

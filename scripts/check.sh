@@ -21,6 +21,31 @@ echo "==> determinism + screening equivalence at OVERRUN_THREADS=4"
 OVERRUN_THREADS=4 cargo test --release -q -p overrun-control \
   --test par_determinism --test screening_equivalence
 
+echo "==> trace feature stays OFF in the default dependency graph"
+if cargo tree -p overrun-bench -e features -f "{p} {f}" --prefix none \
+    | grep "^overrun-trace v" | grep -q ") trace"; then
+  echo "error: the 'trace' feature leaked into the default build" >&2
+  exit 1
+fi
+
+echo "==> overrun-trace unit tests (feature off and on)"
+cargo test --release -q -p overrun-trace
+cargo test --release -q -p overrun-trace --features trace
+
+echo "==> instrumented crates build without default features (macros inert)"
+cargo build -q -p overrun-jsr -p overrun-control -p overrun-rtsim \
+  --no-default-features
+
+echo "==> trace counters thread-invariant + JSONL round trip (--features trace)"
+OVERRUN_THREADS=4 cargo test --release -q -p overrun-control \
+  --features trace --test trace_counters
+
+echo "==> table2 --trace smoke (--features trace)"
+rm -f bench_results/table2.trace.jsonl
+cargo run --release -q -p overrun-bench --features trace --bin table2 -- \
+  --sequences 10 --jobs 10 --out bench_results --trace >/dev/null
+test -s bench_results/table2.trace.jsonl
+
 echo "==> bench JSON smoke (table1, reduced)"
 BENCH_JSON=bench_results/BENCH_results.json cargo run --release -q \
   -p overrun-bench --bin table1 -- --sequences 20 --jobs 10 --out bench_results

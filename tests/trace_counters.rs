@@ -1,0 +1,134 @@
+//! Integration tests of the `overrun-trace` sink against the real pipeline
+//! (compiled only with `--features trace`): counter totals must be
+//! invariant to the worker-thread count while the numeric results stay
+//! bit-identical, and a real certification run must export schema-valid,
+//! balanced JSONL.
+
+use std::sync::Mutex;
+
+use overrun_control::metrics::{evaluate_worst_case, WorstCaseOptions};
+use overrun_control::prelude::*;
+use overrun_control::sim::{ClosedLoopSim, SimScenario};
+use overrun_control::stability;
+use overrun_linalg::Matrix;
+use overrun_par::set_thread_override;
+use overrun_trace::{finish, install, NoopClock, Trace};
+
+/// The trace sink and the thread override are both process-global; every
+/// test serializes on this lock.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    match SINK_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `f` with a fresh trace epoch and returns its result plus the
+/// collected trace.
+fn traced<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    assert!(install(NoopClock), "sink must not already be active");
+    let out = f();
+    let trace = finish().expect("an active sink was installed");
+    (out, trace)
+}
+
+/// Monte Carlo counters (`mc.sequences`, `mc.jobs`) total the same at any
+/// worker-thread count — per-chunk emission plus the worker-exit flush in
+/// `overrun-par` makes the aggregate scheduling-independent — while the
+/// worst-case report itself stays bit-identical.
+#[test]
+fn mc_counter_totals_are_thread_count_invariant() {
+    let _guard = serialize();
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).unwrap();
+    let table = pi::design_adaptive(&plant, &hset).unwrap();
+    let sim = ClosedLoopSim::new(&plant, &table).unwrap();
+    let scenario = SimScenario::step(2, Matrix::col_vec(&[1.0]));
+    let opts = WorstCaseOptions {
+        num_sequences: 200, // several chunks, the last one partial
+        jobs_per_sequence: 60,
+        seed: 2021,
+        rmin_fraction: 0.05,
+    };
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        set_thread_override(Some(threads));
+        runs.push(traced(|| evaluate_worst_case(&sim, &scenario, &opts).unwrap()));
+    }
+    set_thread_override(None);
+
+    let (serial_report, serial_trace) = &runs[0];
+    let (parallel_report, parallel_trace) = &runs[1];
+
+    // Results bit-identical (the PR-1 guarantee still holds when traced).
+    assert_eq!(
+        serial_report.worst_cost.to_bits(),
+        parallel_report.worst_cost.to_bits()
+    );
+    assert_eq!(
+        serial_report.mean_cost.to_bits(),
+        parallel_report.mean_cost.to_bits()
+    );
+
+    // Counter totals invariant.
+    let serial_totals = serial_trace.counter_totals();
+    let parallel_totals = parallel_trace.counter_totals();
+    for key in ["mc.sequences", "mc.jobs"] {
+        let a = serial_totals.get(key).copied().unwrap_or(0);
+        let b = parallel_totals.get(key).copied().unwrap_or(0);
+        assert!(a > 0, "{key} must be counted at all");
+        assert_eq!(a, b, "{key} differs across thread counts");
+    }
+    assert_eq!(
+        serial_totals.get("mc.sequences"),
+        Some(&(opts.num_sequences as u64))
+    );
+    assert_eq!(
+        serial_totals.get("mc.jobs"),
+        Some(&((opts.num_sequences * opts.jobs_per_sequence) as u64))
+    );
+
+    // Histograms merge to the same aggregate as well.
+    let sh = &serial_trace.histogram_totals()["mc.chunk_worst"];
+    let ph = &parallel_trace.histogram_totals()["mc.chunk_worst"];
+    assert_eq!(sh.count, ph.count);
+    assert_eq!(sh.max.to_bits(), ph.max.to_bits());
+}
+
+/// A real Table-II-style certification exports JSONL in which every line
+/// parses, span opens and closes balance, and re-serialisation reproduces
+/// the stream byte for byte.
+#[test]
+fn certification_trace_round_trips_as_jsonl() {
+    let _guard = serialize();
+    let plant = plants::unstable_second_order();
+    let hset = IntervalSet::from_timing(0.010, 0.013, 2).unwrap();
+    let table = pi::design_adaptive(&plant, &hset).unwrap();
+
+    let (report, trace) = traced(|| {
+        stability::certify(&plant, &table, &Default::default()).unwrap()
+    });
+    assert!(report.bounds.certifies_stable(), "{:?}", report.bounds);
+
+    assert!(!trace.events.is_empty(), "certification must emit events");
+    assert!(trace.is_balanced(), "{:?}", trace.span_balance());
+
+    // The search phases show up as spans, the screen façade as counters,
+    // and the bound improvements as progress events.
+    let tree = trace.span_tree();
+    let names: Vec<&str> = tree.iter().map(|n| n.name.as_str()).collect();
+    assert!(names.contains(&"stability.certify"), "{names:?}");
+    let totals = trace.counter_totals();
+    assert!(totals.contains_key("jsr.screen.nodes"), "{totals:?}");
+    assert!(trace.last_progress().contains_key("jsr.ub"));
+
+    // Byte-exact JSONL round trip.
+    let text = trace.to_jsonl_string();
+    assert_eq!(text.lines().count(), trace.events.len());
+    let reparsed = Trace::parse_jsonl(&text).expect("every line parses");
+    assert_eq!(reparsed.events.len(), trace.events.len());
+    assert_eq!(reparsed.to_jsonl_string(), text);
+}
