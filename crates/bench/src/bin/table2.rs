@@ -10,7 +10,10 @@
 
 use overrun_bench::{metrics, run_header, RunArgs};
 use overrun_control::plants;
-use overrun_control::scenarios::{format_table2, pmsm_table2_weights, table2};
+use overrun_control::scenarios::{
+    format_table2, pmsm_table2_weights, table2_certifications, table2_with,
+};
+use overrun_control::stability;
 use overrun_linalg::Matrix;
 
 fn main() {
@@ -25,13 +28,36 @@ fn main() {
     args.start_trace();
     let plant = plants::pmsm();
     let t = 50e-6; // 50 µs control period, as in the paper
+    let weights = pmsm_table2_weights();
     let x0 = Matrix::col_vec(&[1.0, 1.0, 1.0]);
+    let cfg = args.experiment_config();
     args.human(&format!(
         "Table II — LQR on a PMSM, T = 50 us, {} sequences x {} jobs (seed {}, {} threads)",
         args.sequences, args.jobs, args.seed, threads
     ));
     let started = std::time::Instant::now();
-    let rows = match table2(&plant, t, &pmsm_table2_weights(), &x0, &args.experiment_config()) {
+    // With `--cache`, the batch engine certifies (or replays) every table
+    // up front; the driver then reads from its results, so the CSV is
+    // byte-identical to the direct path.
+    let session = match table2_certifications(&plant, t, &weights, &cfg)
+        .map_err(|e| e.to_string())
+        .and_then(|certs| args.sweep_session(&plant, certs))
+    {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("sweep failed: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let rows = match &session {
+        Some(s) => table2_with(&plant, t, &weights, &x0, &cfg, &|p, tb, o| {
+            s.certify(p, tb, o)
+        }),
+        None => table2_with(&plant, t, &weights, &x0, &cfg, &|p, tb, o| {
+            stability::certify(p, tb, o)
+        }),
+    };
+    let rows = match rows {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -88,6 +114,9 @@ fn main() {
         ("schur_skipped", screen.schur_skipped() as f64),
         ("screen_hit_rate", screen.hit_rate()),
     ]);
+    if let Some(s) = &session {
+        km.extend(s.key_metrics());
+    }
     km.extend(args.finish_trace("table2"));
     args.maybe_write_json("table2", threads, elapsed, &km);
 }

@@ -9,7 +9,10 @@
 
 use overrun_bench::{metrics, run_header, RunArgs};
 use overrun_control::plants;
-use overrun_control::scenarios::{format_granularity, granularity_sweep};
+use overrun_control::scenarios::{
+    format_granularity, granularity_certifications, granularity_sweep_with,
+};
+use overrun_control::stability;
 
 fn main() {
     let args = match RunArgs::parse(std::env::args().skip(1)) {
@@ -22,18 +25,34 @@ fn main() {
     let threads = args.apply_threads();
     args.start_trace();
     let plant = plants::unstable_second_order();
+    let (t, rmax_factor, ns_values) = (0.010, 1.6, [1u32, 2, 4, 5, 10]);
+    let cfg = args.experiment_config();
     args.human(&format!(
         "Ts trade-off — PI, T = 10 ms, Rmax = 1.6 T, {} sequences x {} jobs ({} threads)",
         args.sequences, args.jobs, threads
     ));
     let started = std::time::Instant::now();
-    let rows = match granularity_sweep(
-        &plant,
-        0.010,
-        1.6,
-        &[1, 2, 4, 5, 10],
-        &args.experiment_config(),
-    ) {
+    // `--cache`: batch-certify every Ns point through the sweep engine
+    // first, then drive the experiment from the memoized results.
+    let session = match granularity_certifications(&plant, t, rmax_factor, &ns_values)
+        .map_err(|e| e.to_string())
+        .and_then(|certs| args.sweep_session(&plant, certs))
+    {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("sweep failed: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let rows = match &session {
+        Some(s) => granularity_sweep_with(&plant, t, rmax_factor, &ns_values, &cfg, &|p, tb, o| {
+            s.certify(p, tb, o)
+        }),
+        None => granularity_sweep_with(&plant, t, rmax_factor, &ns_values, &cfg, &|p, tb, o| {
+            stability::certify(p, tb, o)
+        }),
+    };
+    let rows = match rows {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -62,6 +81,9 @@ fn main() {
         .map(|r| r.jsr.upper)
         .fold(f64::NEG_INFINITY, f64::max);
     let mut km = metrics(&[("rows", rows.len() as f64), ("max_jsr_ub", max_ub)]);
+    if let Some(s) = &session {
+        km.extend(s.key_metrics());
+    }
     km.extend(args.finish_trace("ts_tradeoff"));
     args.maybe_write_json("ts_tradeoff", threads, elapsed, &km);
 }

@@ -10,8 +10,17 @@ use overrun_linalg::Matrix;
 use crate::lqr::LqrWeights;
 use crate::metrics::{evaluate_worst_case, WorstCaseOptions};
 use crate::sim::{ClosedLoopSim, SimScenario};
-use crate::stability::{certify, CertifyOptions};
+use crate::stability::{certify, CertifyOptions, StabilityReport};
 use crate::{pi, ContinuousSs, ControllerTable, IntervalSet, Result};
+
+/// The certification hook of the `*_with` experiment drivers: same
+/// signature as [`crate::stability::certify`]. The bench binaries inject a
+/// cache-backed lookup here (`overrun-sweep`); the plain drivers pass the
+/// real certifier. Implementations must be *observationally identical* to
+/// `certify` for the tables the driver requests — the CSV outputs are
+/// pinned byte-identical across both paths.
+pub type CertifyFn<'a> =
+    &'a dyn Fn(&ContinuousSs, &ControllerTable, &CertifyOptions) -> Result<StabilityReport>;
 
 /// Shared experiment grid: `(Rmax factor, Ns)` combinations and ensemble
 /// sizes. Matches the paper with
@@ -170,25 +179,84 @@ pub fn table2(
     x0: &Matrix,
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Table2Row>> {
+    table2_with(plant, t, weights, x0, cfg, &|p, tb, o| certify(p, tb, o))
+}
+
+/// The three adaptively-executed controller tables of one Table II cell:
+/// `(adaptive, fixed_t, fixed_rmax)`. Shared between [`table2_with`] and
+/// [`table2_certifications`] so the declarative scenario list can never
+/// drift from what the driver actually certifies.
+fn table2_cell_tables(
+    plant: &ContinuousSs,
+    t: f64,
+    weights: &LqrWeights,
+    factor: f64,
+    ns: u32,
+) -> Result<(ControllerTable, ControllerTable, ControllerTable)> {
+    let rmax = factor * t;
+    let hset = IntervalSet::from_timing(t, rmax, ns)?;
+    let adaptive = crate::lqr::design_adaptive(plant, &hset, weights)?;
+    let fixed_t = crate::lqr::design_fixed(plant, &hset, weights, t)?;
+    let fixed_rmax = crate::lqr::design_fixed(plant, &hset, weights, rmax)?;
+    Ok((adaptive, fixed_t, fixed_rmax))
+}
+
+/// Enumerates every distinct certification [`table2_with`] will request
+/// (three tables per `(Rmax, Ns)` cell, all at the default budget), with
+/// human labels — the input of the `overrun-sweep` batch engine.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn table2_certifications(
+    plant: &ContinuousSs,
+    t: f64,
+    weights: &LqrWeights,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<(String, ControllerTable)>> {
+    let mut out = Vec::new();
+    for &factor in &cfg.rmax_factors {
+        for &ns in &cfg.ns_values {
+            let (adaptive, fixed_t, fixed_rmax) =
+                table2_cell_tables(plant, t, weights, factor, ns)?;
+            out.push((format!("table2 r{factor} ns{ns} lqr-adaptive"), adaptive));
+            out.push((format!("table2 r{factor} ns{ns} lqr-fixed-t"), fixed_t));
+            out.push((format!("table2 r{factor} ns{ns} lqr-fixed-rmax"), fixed_rmax));
+        }
+    }
+    Ok(out)
+}
+
+/// [`table2`] with an injected certifier (see [`CertifyFn`]).
+///
+/// # Errors
+///
+/// Propagates design, certification and simulation failures.
+pub fn table2_with(
+    plant: &ContinuousSs,
+    t: f64,
+    weights: &LqrWeights,
+    x0: &Matrix,
+    cfg: &ExperimentConfig,
+    certify_fn: CertifyFn<'_>,
+) -> Result<Vec<Table2Row>> {
     let mut rows = Vec::new();
     let n = plant.state_dim();
     let scenario = SimScenario::regulation(x0.clone(), n);
     for &factor in &cfg.rmax_factors {
         for &ns in &cfg.ns_values {
             let rmax = factor * t;
-            let hset = IntervalSet::from_timing(t, rmax, ns)?;
-            let adaptive = crate::lqr::design_adaptive(plant, &hset, weights)?;
-            let fixed_t = crate::lqr::design_fixed(plant, &hset, weights, t)?;
-            let fixed_rmax = crate::lqr::design_fixed(plant, &hset, weights, rmax)?;
+            let (adaptive, fixed_t, fixed_rmax) =
+                table2_cell_tables(plant, t, weights, factor, ns)?;
 
-            let report = certify(plant, &adaptive, &CertifyOptions::default())?;
+            let report = certify_fn(plant, &adaptive, &CertifyOptions::default())?;
 
             let opts = cfg.worst_case_options();
             // A strategy's cell reads "unstable" when the JSR analysis
             // certifies instability (paper methodology) or any simulated
             // sequence diverges.
             let worst = |table: &ControllerTable| -> Result<Option<f64>> {
-                let cert = certify(plant, table, &CertifyOptions::default())?;
+                let cert = certify_fn(plant, table, &CertifyOptions::default())?;
                 if cert.bounds.certifies_unstable() {
                     return Ok(None);
                 }
@@ -265,12 +333,52 @@ pub fn granularity_sweep(
     ns_values: &[u32],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<GranularityRow>> {
+    granularity_sweep_with(plant, t, rmax_factor, ns_values, cfg, &|p, tb, o| {
+        certify(p, tb, o)
+    })
+}
+
+/// Enumerates every certification [`granularity_sweep_with`] will request
+/// (one adaptive PI table per `Ns`, default budget), with human labels.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn granularity_certifications(
+    plant: &ContinuousSs,
+    t: f64,
+    rmax_factor: f64,
+    ns_values: &[u32],
+) -> Result<Vec<(String, ControllerTable)>> {
+    let rmax = rmax_factor * t;
+    let mut out = Vec::with_capacity(ns_values.len());
+    for &ns in ns_values {
+        let hset = IntervalSet::from_timing(t, rmax, ns)?;
+        let table = pi::design_adaptive(plant, &hset)?;
+        out.push((format!("granularity r{rmax_factor} ns{ns} pi-adaptive"), table));
+    }
+    Ok(out)
+}
+
+/// [`granularity_sweep`] with an injected certifier (see [`CertifyFn`]).
+///
+/// # Errors
+///
+/// Propagates design, certification and simulation failures.
+pub fn granularity_sweep_with(
+    plant: &ContinuousSs,
+    t: f64,
+    rmax_factor: f64,
+    ns_values: &[u32],
+    cfg: &ExperimentConfig,
+    certify_fn: CertifyFn<'_>,
+) -> Result<Vec<GranularityRow>> {
     let mut rows = Vec::with_capacity(ns_values.len());
     let rmax = rmax_factor * t;
     for &ns in ns_values {
         let hset = IntervalSet::from_timing(t, rmax, ns)?;
         let table = pi::design_adaptive(plant, &hset)?;
-        let report = certify(plant, &table, &CertifyOptions::default())?;
+        let report = certify_fn(plant, &table, &CertifyOptions::default())?;
         let sim = ClosedLoopSim::new(plant, &table)?;
         let scenario = SimScenario::step(plant.state_dim(), Matrix::col_vec(&[1.0]));
         let jw = evaluate_worst_case(&sim, &scenario, &cfg.worst_case_options())?.worst_cost;

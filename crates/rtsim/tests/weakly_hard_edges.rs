@@ -1,0 +1,172 @@
+//! Degenerate-window coverage for the weakly-hard machinery: `m = 0`,
+//! `m = K`, `K = 1`, windows longer than the observed sequence, and empty
+//! patterns — plus a property oracle pinning `empirical_contract` to its
+//! definition ("the tightest satisfiable `m`") on random overrun patterns.
+
+use overrun_rtsim::{
+    empirical_contract, max_overruns_in_window, OverrunPolicy, ReleaseTrace, Span, WeaklyHard,
+};
+use proptest::prelude::*;
+
+/// Builds a release trace whose per-job overrun flags equal `pattern`
+/// (response 12 ms > T = 10 ms overruns; 5 ms does not).
+fn trace_from_pattern(pattern: &[bool]) -> ReleaseTrace {
+    let policy = OverrunPolicy::new(Span::from_millis(10), 5).unwrap();
+    let responses: Vec<Span> = pattern
+        .iter()
+        .map(|&over| {
+            if over {
+                Span::from_millis(12)
+            } else {
+                Span::from_millis(5)
+            }
+        })
+        .collect();
+    let trace = policy.apply(&responses).unwrap();
+    let flags: Vec<bool> = trace.jobs.iter().map(|j| j.overran).collect();
+    assert_eq!(flags, pattern, "pattern must survive the policy round-trip");
+    trace
+}
+
+/// `(K, K)` tolerates anything: every window of `K` jobs holds at most `K`
+/// overruns by counting alone.
+#[test]
+fn m_equals_k_is_always_satisfied() {
+    for k in 1..=4u32 {
+        let wh = WeaklyHard::new(k, k);
+        assert!(wh.is_satisfied_by(&[true; 8]));
+        assert!(wh.is_satisfied_by(&[false; 8]));
+        assert!(wh.is_satisfied_by(&[]));
+    }
+}
+
+/// `(0, K)` forbids *any* overrun, anywhere — including in a pattern
+/// shorter than the window.
+#[test]
+fn m_zero_forbids_every_overrun() {
+    let wh = WeaklyHard::new(0, 3);
+    assert!(wh.is_satisfied_by(&[false; 10]));
+    assert!(!wh.is_satisfied_by(&[false, false, false, false, true]));
+    // Shorter than the window: a single overrun still violates (0, 3).
+    assert!(!wh.is_satisfied_by(&[true]));
+    assert!(wh.is_satisfied_by(&[]));
+}
+
+/// `K = 1` windows degenerate to per-job checks: `(0, 1)` forbids all
+/// overruns, `(1, 1)` allows all.
+#[test]
+fn window_of_one() {
+    assert!(!WeaklyHard::new(0, 1).is_satisfied_by(&[false, true]));
+    assert!(WeaklyHard::new(1, 1).is_satisfied_by(&[true, true, true]));
+    let t = trace_from_pattern(&[true, false, true]);
+    assert_eq!(max_overruns_in_window(&t, 1), 1);
+}
+
+/// A window longer than the observed sequence counts the whole sequence:
+/// the partial window is the only evidence there is, and any completion of
+/// it can only add overruns.
+#[test]
+fn window_longer_than_sequence() {
+    let t = trace_from_pattern(&[true, false, true]);
+    // Window of 10 over 3 jobs: both overruns land in one window.
+    assert_eq!(max_overruns_in_window(&t, 10), 2);
+    assert_eq!(empirical_contract(&t, 10), WeaklyHard::new(2, 10));
+    // Satisfaction agrees on the short pattern.
+    assert!(WeaklyHard::new(2, 10).is_satisfied_by(&[true, false, true]));
+    assert!(!WeaklyHard::new(1, 10).is_satisfied_by(&[true, false, true]));
+}
+
+/// The empty trace satisfies everything and yields the zero contract.
+#[test]
+fn empty_trace() {
+    let t = trace_from_pattern(&[]);
+    assert_eq!(max_overruns_in_window(&t, 5), 0);
+    assert_eq!(empirical_contract(&t, 5), WeaklyHard::new(0, 5));
+    assert!(WeaklyHard::new(0, 5).is_satisfied_by(&[]));
+}
+
+/// An all-overrun trace shorter than the window produces a contract whose
+/// `m` stays below the sequence length, not the window length.
+#[test]
+fn saturated_short_trace() {
+    let t = trace_from_pattern(&[true, true, true]);
+    assert_eq!(max_overruns_in_window(&t, 7), 3);
+    let wh = empirical_contract(&t, 7);
+    assert_eq!(wh, WeaklyHard::new(3, 7));
+    assert!(wh.is_satisfied_by(&[true, true, true]));
+}
+
+/// Random overrun patterns as bit vectors (the vendored proptest has no
+/// `bool` strategy; a 0/1 integer vector maps onto one).
+fn overrun_pattern() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(0u32..2, 0..24).prop_map(|v| v.into_iter().map(|x| x == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `empirical_contract` really is the *tightest* satisfiable contract:
+    /// the trace satisfies `(m, K)` and, whenever `m > 0`, violates
+    /// `(m - 1, K)` — for any window, including degenerate ones.
+    #[test]
+    fn empirical_contract_is_tight_oracle(
+        pattern in overrun_pattern(),
+        k in 1..12u32,
+    ) {
+        let t = trace_from_pattern(&pattern);
+        let wh = empirical_contract(&t, k);
+        prop_assert_eq!(wh.k, k);
+        prop_assert!(wh.is_satisfied_by(&pattern),
+            "contract {} not satisfied by its own trace", wh);
+        if wh.m > 0 {
+            prop_assert!(
+                !WeaklyHard::new(wh.m - 1, k).is_satisfied_by(&pattern),
+                "contract {} is not tight", wh
+            );
+        }
+    }
+
+    /// Shrinking the window only relaxes the constraint: every window of
+    /// `k' ≤ k` jobs sits inside a window of `k` jobs, so satisfaction at
+    /// `(m, k)` implies satisfaction at `(m, k')`.
+    #[test]
+    fn satisfaction_is_monotone_in_window(
+        pattern in overrun_pattern(),
+        m in 0..4u32,
+        k in 1..12u32,
+    ) {
+        let m = m.min(k);
+        if WeaklyHard::new(m, k).is_satisfied_by(&pattern) {
+            for smaller in 1..k {
+                if m <= smaller {
+                    prop_assert!(
+                        WeaklyHard::new(m, smaller).is_satisfied_by(&pattern),
+                        "satisfied at K = {k} but not at K = {smaller}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The window maximum is consistent with brute-force window counting.
+    #[test]
+    fn window_maximum_matches_bruteforce(
+        pattern in overrun_pattern(),
+        k in 1..12u32,
+    ) {
+        let t = trace_from_pattern(&pattern);
+        let got = max_overruns_in_window(&t, k);
+        let ku = (k as usize).min(pattern.len());
+        let brute = if pattern.is_empty() || ku == 0 {
+            0
+        } else {
+            pattern
+                .windows(ku)
+                .map(|w| w.iter().filter(|&&o| o).count())
+                .max()
+                .unwrap_or(0)
+        };
+        prop_assert_eq!(got as usize, brute,
+            "window max mismatch for pattern {:?}, k = {}", pattern, k);
+    }
+}

@@ -1,0 +1,216 @@
+//! Shard-level sweep checkpointing.
+//!
+//! The checkpoint is an append-only text file inside the cache directory:
+//! a header binding it to one exact grid (the FNV-128 hash over every
+//! scenario key plus the shard size), then one `shard N ok` line per
+//! completed shard, flushed as each shard finishes. A killed sweep leaves
+//! at worst one torn trailing line, which the loader ignores; a checkpoint
+//! whose header does not match the current grid is ignored wholesale (the
+//! grid changed — resuming from it would be wrong). Shards containing
+//! scenario faults are deliberately never marked, so a rerun retries them.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::SweepError;
+use crate::hash::ContentHash;
+
+/// Format magic + version line of a checkpoint file.
+pub const CHECKPOINT_HEADER: &str = "overrun-sweep-checkpoint v1";
+
+/// An open checkpoint file for appending shard completions.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+/// Identity of a grid for checkpoint validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridId {
+    /// Hash over all scenario keys (order-sensitive).
+    pub grid: ContentHash,
+    /// Scenarios per shard.
+    pub shard_size: usize,
+    /// Total scenario count.
+    pub scenarios: usize,
+}
+
+impl GridId {
+    fn header_lines(&self) -> String {
+        format!(
+            "{CHECKPOINT_HEADER}\ngrid = {}\nshard_size = {}\nscenarios = {}\n",
+            self.grid.to_hex(),
+            self.shard_size,
+            self.scenarios
+        )
+    }
+}
+
+impl Checkpoint {
+    /// Creates (truncating) a fresh checkpoint for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] when the file cannot be written.
+    pub fn create(path: &Path, id: &GridId) -> Result<Checkpoint, SweepError> {
+        let mut file = std::fs::File::create(path).map_err(|e| SweepError::io(path, "create", e))?;
+        file.write_all(id.header_lines().as_bytes())
+            .map_err(|e| SweepError::io(path, "write", e))?;
+        file.sync_data().map_err(|e| SweepError::io(path, "sync", e))?;
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Reopens an existing checkpoint for appending further shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] when the file cannot be opened.
+    pub fn append_to(path: &Path) -> Result<Checkpoint, SweepError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| SweepError::io(path, "open", e))?;
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Records shard `index` as fully completed (all results cached),
+    /// flushed to disk before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] when the append fails.
+    pub fn mark_done(&mut self, index: usize) -> Result<(), SweepError> {
+        self.file
+            .write_all(format!("shard {index} ok\n").as_bytes())
+            .map_err(|e| SweepError::io(&self.path, "append", e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| SweepError::io(&self.path, "sync", e))
+    }
+}
+
+/// Loads the set of completed shard indices recorded for `id`.
+///
+/// Returns `None` when the file is missing, its header does not match
+/// `id` (stale grid), or the header itself is torn — all of which mean
+/// "start fresh". A torn or alien *trailing* line after a valid header is
+/// tolerated (the kill may have interrupted an append mid-line); it and
+/// everything after it are ignored.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Io`] for I/O failures other than not-found.
+pub fn load_completed(path: &Path, id: &GridId) -> Result<Option<BTreeSet<usize>>, SweepError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SweepError::io(path, "read", e)),
+    };
+    let expected = id.header_lines();
+    let Some(body) = text.strip_prefix(&expected) else {
+        return Ok(None);
+    };
+    let mut done = BTreeSet::new();
+    for line in body.lines() {
+        let parsed = line
+            .strip_prefix("shard ")
+            .and_then(|r| r.strip_suffix(" ok"))
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n.checked_mul(id.shard_size).is_some_and(|s| s < id.scenarios));
+        match parsed {
+            Some(n) => {
+                done.insert(n);
+            }
+            // Torn tail: stop at the first malformed line.
+            None => break,
+        }
+    }
+    Ok(Some(done))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "overrun-sweep-ckpt-test-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    fn id() -> GridId {
+        GridId {
+            grid: ContentHash(0xfeed),
+            shard_size: 4,
+            scenarios: 10,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_torn_tail() -> Result<(), SweepError> {
+        let path = tmp_path("roundtrip");
+        let id = id();
+        let mut ck = Checkpoint::create(&path, &id)?;
+        ck.mark_done(0)?;
+        ck.mark_done(2)?;
+        assert_eq!(
+            load_completed(&path, &id)?,
+            Some(BTreeSet::from([0, 2]))
+        );
+
+        // Simulate a kill mid-append: a torn trailing line is ignored.
+        let mut text = std::fs::read_to_string(&path).map_err(|e| SweepError::io(&path, "read", e))?;
+        text.push_str("shard 1 o");
+        std::fs::write(&path, &text).map_err(|e| SweepError::io(&path, "write", e))?;
+        assert_eq!(
+            load_completed(&path, &id)?,
+            Some(BTreeSet::from([0, 2]))
+        );
+
+        // Reopen-append continues the same file.
+        let mut ck = Checkpoint::append_to(&path)?;
+        ck.mark_done(1)?;
+        // The torn fragment now glues onto the new line, corrupting only
+        // that one entry — prior completions survive.
+        let done = load_completed(&path, &id)?.ok_or_else(|| SweepError::Grid("gone".into()))?;
+        assert!(done.contains(&0) && done.contains(&2));
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn mismatched_grid_is_ignored() -> Result<(), SweepError> {
+        let path = tmp_path("mismatch");
+        let id = id();
+        let mut ck = Checkpoint::create(&path, &id)?;
+        ck.mark_done(0)?;
+        let other = GridId {
+            grid: ContentHash(0xbeef),
+            ..id
+        };
+        assert_eq!(load_completed(&path, &other)?, None);
+        let missing = tmp_path("never-created");
+        assert_eq!(load_completed(&missing, &id)?, None);
+        // Out-of-range shard indices are dropped.
+        let huge = GridId {
+            scenarios: 4,
+            shard_size: 4,
+            ..id
+        };
+        let mut ck2 = Checkpoint::create(&path, &huge)?;
+        ck2.mark_done(0)?;
+        ck2.mark_done(99)?;
+        assert_eq!(load_completed(&path, &huge)?, Some(BTreeSet::from([0])));
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+}

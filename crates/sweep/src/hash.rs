@@ -1,0 +1,176 @@
+//! Content hashing of certification inputs.
+//!
+//! Scenario keys are 128-bit FNV-1a digests of a canonical byte stream:
+//! every `f64` enters as its exact IEEE-754 bit pattern (little-endian), so
+//! two scenarios collide exactly when their inputs are bit-identical — the
+//! same discipline that makes the certified bounds reproducible makes the
+//! cache address reproducible. No external hash crate is involved; FNV-1a
+//! over `u128` is a dozen lines of `std`.
+//!
+//! Every stream is framed: each field is preceded by a short ASCII tag and
+//! every variable-length section by its length, so distinct input shapes
+//! cannot alias into the same byte sequence.
+
+use overrun_linalg::Matrix;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit content hash identifying one certification scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// Renders the hash as 32 lowercase hex digits (the cache file stem).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-hex-digit form produced by [`ContentHash::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ContentHash)
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Incremental canonical writer feeding the FNV-1a state.
+#[derive(Debug, Clone)]
+pub struct Canon {
+    state: u128,
+}
+
+impl Default for Canon {
+    fn default() -> Self {
+        Canon { state: FNV_OFFSET }
+    }
+}
+
+impl Canon {
+    /// Creates a fresh canonical stream.
+    pub fn new() -> Self {
+        Canon::default()
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Writes a framing tag (field name / variant discriminator).
+    pub fn tag(&mut self, tag: &str) -> &mut Self {
+        self.str_field(tag);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str_field(&mut self, s: &str) -> &mut Self {
+        self.u64_field(s.len() as u64);
+        self.bytes(s.as_bytes());
+        self
+    }
+
+    /// Writes a `u64` as 8 little-endian bytes.
+    pub fn u64_field(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an `f64` as its exact bit pattern.
+    pub fn f64_field(&mut self, v: f64) -> &mut Self {
+        self.u64_field(v.to_bits());
+        self
+    }
+
+    /// Writes a matrix: shape followed by every entry's bit pattern in
+    /// row-major order.
+    pub fn matrix_field(&mut self, m: &Matrix) -> &mut Self {
+        self.u64_field(m.rows() as u64);
+        self.u64_field(m.cols() as u64);
+        for &v in m.as_slice() {
+            self.f64_field(v);
+        }
+        self
+    }
+
+    /// Finalises the stream into a [`ContentHash`].
+    pub fn finish(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = Canon::new().tag("x").finish();
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ContentHash::from_hex(&hex), Some(h));
+        assert_eq!(ContentHash::from_hex("zz"), None);
+        assert_eq!(ContentHash::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn streams_are_order_and_frame_sensitive() {
+        let ab = Canon::new().str_field("a").str_field("b").finish();
+        let ba = Canon::new().str_field("b").str_field("a").finish();
+        // Length framing: ["ab"] must differ from ["a", "b"].
+        let joined = Canon::new().str_field("ab").finish();
+        assert_ne!(ab, ba);
+        assert_ne!(ab, joined);
+    }
+
+    #[test]
+    fn f64_hash_is_bit_exact() {
+        let a = Canon::new().f64_field(0.1).finish();
+        let b = Canon::new().f64_field(0.1 + 1e-18).finish(); // same f64
+        let c = Canon::new().f64_field(0.1 + 1e-17).finish(); // next f64
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Signed zero and NaN patterns are distinguished too.
+        assert_ne!(
+            Canon::new().f64_field(0.0).finish(),
+            Canon::new().f64_field(-0.0).finish()
+        );
+    }
+
+    #[test]
+    fn matrix_shape_disambiguates() {
+        let row = Matrix::row_vec(&[1.0, 2.0]);
+        let col = Matrix::col_vec(&[1.0, 2.0]);
+        let hr = Canon::new().matrix_field(&row).finish();
+        let hc = Canon::new().matrix_field(&col).finish();
+        assert_ne!(hr, hc);
+    }
+
+    #[test]
+    fn determinism() {
+        let h1 = Canon::new()
+            .tag("t")
+            .f64_field(1.5)
+            .u64_field(7)
+            .matrix_field(&Matrix::identity(2))
+            .finish();
+        let h2 = Canon::new()
+            .tag("t")
+            .f64_field(1.5)
+            .u64_field(7)
+            .matrix_field(&Matrix::identity(2))
+            .finish();
+        assert_eq!(h1, h2);
+    }
+}
